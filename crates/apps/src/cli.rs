@@ -1,0 +1,153 @@
+//! Tiny argument parsing shared by the benchmark binaries (no external
+//! dependencies: the offline crate policy applies to binaries too).
+
+use triolet::prelude::*;
+use triolet::RunStats;
+
+/// Which implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Impl {
+    /// Plain sequential loops.
+    Seq,
+    /// Triolet skeletons.
+    Triolet,
+    /// Hand-partitioned C+MPI+OpenMP style.
+    Lowlevel,
+    /// Eden-style skeletons.
+    Eden,
+}
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Implementation selector (`--impl seq|triolet|lowlevel|eden`).
+    pub imp: Impl,
+    /// Cluster nodes (`--nodes N`).
+    pub nodes: usize,
+    /// Threads (or Eden processes) per node (`--threads T`).
+    pub threads: usize,
+    /// Generator seed (`--seed S`).
+    pub seed: u64,
+    /// App-specific sizes, filled from the remaining `--key value` pairs.
+    pub sizes: Vec<(String, usize)>,
+}
+
+impl Opts {
+    /// Parse `std::env::args`, with app-specific size keys and defaults.
+    ///
+    /// Exits with a usage message on `--help` or malformed input.
+    pub fn parse(app: &str, size_keys: &[(&str, usize)]) -> Opts {
+        let mut imp = Impl::Triolet;
+        let mut nodes = 4usize;
+        let mut threads = 4usize;
+        let mut seed = 1u64;
+        let mut sizes: Vec<(String, usize)> =
+            size_keys.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let usage = || {
+                let keys: Vec<String> =
+                    size_keys.iter().map(|(k, v)| format!("[--{k} N (default {v})]")).collect();
+                eprintln!(
+                    "usage: {app} [--impl seq|triolet|lowlevel|eden] [--nodes N] \
+                     [--threads T] [--seed S] {}",
+                    keys.join(" ")
+                );
+                std::process::exit(2);
+            };
+            let value = |args: &mut dyn Iterator<Item = String>| -> String {
+                args.next().unwrap_or_else(|| {
+                    usage();
+                    unreachable!()
+                })
+            };
+            match arg.as_str() {
+                "--impl" => {
+                    imp = match value(&mut args).as_str() {
+                        "seq" => Impl::Seq,
+                        "triolet" => Impl::Triolet,
+                        "lowlevel" => Impl::Lowlevel,
+                        "eden" => Impl::Eden,
+                        _ => {
+                            usage();
+                            unreachable!()
+                        }
+                    }
+                }
+                "--nodes" => nodes = value(&mut args).parse().unwrap_or_else(|_| {
+                    usage();
+                    unreachable!()
+                }),
+                "--threads" => threads = value(&mut args).parse().unwrap_or_else(|_| {
+                    usage();
+                    unreachable!()
+                }),
+                "--seed" => seed = value(&mut args).parse().unwrap_or_else(|_| {
+                    usage();
+                    unreachable!()
+                }),
+                other => {
+                    let key = other.strip_prefix("--").unwrap_or_else(|| {
+                        usage();
+                        unreachable!()
+                    });
+                    let slot = sizes.iter_mut().find(|(k, _)| k == key);
+                    match slot {
+                        Some((_, v)) => {
+                            *v = value(&mut args).parse().unwrap_or_else(|_| {
+                                usage();
+                                unreachable!()
+                            })
+                        }
+                        None => {
+                            usage();
+                            unreachable!()
+                        }
+                    }
+                }
+            }
+        }
+        Opts { imp, nodes, threads, seed, sizes }
+    }
+
+    /// Look up an app-specific size by key.
+    pub fn size(&self, key: &str) -> usize {
+        self.sizes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("size key {key} not registered"))
+    }
+
+    /// Build the Triolet runtime for these options.
+    pub fn triolet_rt(&self) -> Triolet {
+        Triolet::new(ClusterConfig::virtual_cluster(self.nodes, self.threads))
+    }
+
+    /// Print the run header.
+    pub fn banner(&self, app: &str) {
+        println!(
+            "{app}: impl={:?} cluster={}x{} seed={} sizes={:?}",
+            self.imp, self.nodes, self.threads, self.seed, self.sizes
+        );
+    }
+}
+
+/// Print a [`RunStats`] in one line.
+pub fn print_stats(stats: &RunStats) {
+    println!(
+        "time={:.4}s comm={:.4}s root={:.4}s span={:.4}s out={}B back={}B msgs={}",
+        stats.total_s,
+        stats.comm_s,
+        stats.root_s,
+        stats.compute_span_s(),
+        stats.bytes_out,
+        stats.bytes_back,
+        stats.messages
+    );
+}
+
+/// Print a sequential-run timing in the same format.
+pub fn print_seq_time(seconds: f64) {
+    println!("time={seconds:.4}s (sequential)");
+}

@@ -1,0 +1,190 @@
+//! Gather-formulation of cutcp: the inverse decomposition.
+//!
+//! The paper's cutcp (and this crate's other implementations) *scatter*:
+//! parallel over atoms, each adding into the grid — which is why the
+//! per-node grid reduction dominates at scale (§4.5). Parboil's optimized
+//! CPU versions invert the loop: bin atoms spatially, then *gather* — a
+//! parallel loop over grid points, each summing the atoms in its
+//! neighbouring bins. No grid merging is needed (each point is written
+//! once), at the cost of broadcasting the binned atoms to every node.
+//!
+//! This module implements the gather variant on the Triolet skeletons as the
+//! natural "what the paper's design enables next" extension: the output is a
+//! regular `build_vec` over grid points, and the binned atoms travel as an
+//! accounted broadcast environment.
+
+use triolet::prelude::*;
+use triolet::RunStats;
+use triolet_serial::{Wire, WireReader, WireResult, WireWriter};
+
+use super::{potential, Atom, CutcpInput, GridGeom};
+
+/// Atoms binned into cutoff-sized cells for O(1) neighbourhood lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomBins {
+    geom: GridGeom,
+    /// Bin edge length in world units (>= cutoff so 27 bins always cover).
+    bin_w: f32,
+    /// Bins per axis.
+    nb: (usize, usize, usize),
+    /// Row-major (x-major) bins of atoms.
+    bins: Vec<Vec<Atom>>,
+}
+
+impl Wire for AtomBins {
+    fn pack(&self, w: &mut WireWriter) {
+        self.geom.pack(w);
+        self.bin_w.pack(w);
+        self.nb.pack(w);
+        self.bins.pack(w);
+    }
+    fn unpack(r: &mut WireReader) -> WireResult<Self> {
+        Ok(AtomBins {
+            geom: GridGeom::unpack(r)?,
+            bin_w: f32::unpack(r)?,
+            nb: <(usize, usize, usize)>::unpack(r)?,
+            bins: Vec::unpack(r)?,
+        })
+    }
+    fn packed_size(&self) -> usize {
+        self.geom.packed_size() + 4 + self.nb.packed_size() + self.bins.packed_size()
+    }
+}
+
+impl AtomBins {
+    /// Bin index along one axis for a world coordinate.
+    #[inline]
+    fn axis_bin(&self, p: f32, n: usize) -> usize {
+        ((p / self.bin_w).floor().max(0.0) as usize).min(n.saturating_sub(1))
+    }
+
+    /// The atoms within the 27-bin neighbourhood of a grid point.
+    #[inline]
+    fn neighbours(&self, gx: f32, gy: f32, gz: f32) -> impl Iterator<Item = &Atom> {
+        let (nx, ny, nz) = self.nb;
+        let bx = self.axis_bin(gx, nx);
+        let by = self.axis_bin(gy, ny);
+        let bz = self.axis_bin(gz, nz);
+        let xr = bx.saturating_sub(1)..=(bx + 1).min(nx - 1);
+        let yr = by.saturating_sub(1)..=(by + 1).min(ny - 1);
+        let zr = bz.saturating_sub(1)..=(bz + 1).min(nz - 1);
+        xr.flat_map(move |x| {
+            let yr = yr.clone();
+            let zr = zr.clone();
+            yr.flat_map(move |y| {
+                let zr = zr.clone();
+                zr.map(move |z| (x, y, z))
+            })
+        })
+        .flat_map(move |(x, y, z)| self.bins[(x * ny + y) * nz + z].iter())
+    }
+}
+
+/// Bin the atoms of an instance into cutoff-sized cells.
+pub fn bin_atoms(input: &CutcpInput) -> AtomBins {
+    let g = input.geom;
+    let extent = |cells: usize| cells as f32 * g.h;
+    let bin_w = g.cutoff.max(g.h);
+    let count = |cells: usize| ((extent(cells) / bin_w).ceil() as usize).max(1);
+    let nb = (count(g.dom.nx), count(g.dom.ny), count(g.dom.nz));
+    let mut bins = vec![Vec::new(); nb.0 * nb.1 * nb.2];
+    let axis = |p: f32, n: usize| {
+        ((p / bin_w).floor().max(0.0) as usize).min(n.saturating_sub(1))
+    };
+    for &a in &input.atoms {
+        let (bx, by, bz) = (axis(a.x, nb.0), axis(a.y, nb.1), axis(a.z, nb.2));
+        bins[(bx * nb.1 + by) * nb.2 + bz].push(a);
+    }
+    AtomBins { geom: g, bin_w, nb, bins }
+}
+
+/// Gather-formulation on the Triolet skeletons: parallel over grid points,
+/// binned atoms broadcast as the environment.
+pub fn run_triolet_gather(rt: &Triolet, input: &CutcpInput) -> (Vec<f64>, RunStats) {
+    let bins = bin_atoms(input);
+    let g = input.geom;
+    let c2 = g.cutoff * g.cutoff;
+    let dom = g.dom;
+    // Flattened grid-point loop (Seq domain keeps build_vec's ordered
+    // fragment assembly; index math is cheap next to the bin scans).
+    let points = range(dom.count()).par();
+    rt.build_vec_env(points, &bins, move |bins: &AtomBins, k: usize| {
+        let (ix, iy, iz) = dom.index_at(k);
+        let (gx, gy, gz) = (ix as f32 * g.h, iy as f32 * g.h, iz as f32 * g.h);
+        let mut v = 0.0f64;
+        for a in bins.neighbours(gx, gy, gz) {
+            let (dx, dy, dz) = (gx - a.x, gy - a.y, gz - a.z);
+            let r2 = dx * dx + dy * dy + dz * dz;
+            if r2 <= c2 && r2 > 0.0 {
+                v += potential(a.q, r2, c2);
+            }
+        }
+        v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutcp::{generate, run_seq, validate};
+
+    #[test]
+    fn bins_hold_every_atom() {
+        let input = generate(200, 12, 3);
+        let bins = bin_atoms(&input);
+        let total: usize = bins.bins.iter().map(Vec::len).sum();
+        assert_eq!(total, input.atoms.len());
+    }
+
+    #[test]
+    fn gather_matches_scatter_reference() {
+        let input = generate(150, 10, 9);
+        let expect = run_seq(&input);
+        let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2));
+        let (got, stats) = run_triolet_gather(&rt, &input);
+        assert!(validate(&expect, &got, 1e-9), "gather and scatter disagree");
+        // The gather trades grid reduction for an atom broadcast: the bytes
+        // shipped *back* are just the output fragments (one grid total), not
+        // nodes x whole-grid partials.
+        let grid_bytes = (input.geom.dom.count() * 8) as u64;
+        assert!(stats.bytes_back < 2 * grid_bytes);
+    }
+
+    #[test]
+    fn gather_single_vs_multi_node() {
+        let input = generate(100, 8, 4);
+        let a = run_triolet_gather(&Triolet::new(ClusterConfig::virtual_cluster(1, 1)), &input).0;
+        let b = run_triolet_gather(&Triolet::new(ClusterConfig::virtual_cluster(8, 2)), &input).0;
+        assert!(validate(&a, &b, 1e-12));
+    }
+
+    #[test]
+    fn neighbourhood_covers_cutoff() {
+        // Every atom within cutoff of a grid point must appear among its
+        // neighbours (bin width >= cutoff guarantees the 27-cell cover).
+        let input = generate(120, 10, 7);
+        let bins = bin_atoms(&input);
+        let g = input.geom;
+        let c2 = g.cutoff * g.cutoff;
+        for k in (0..g.dom.count()).step_by(97) {
+            let (ix, iy, iz) = g.dom.index_at(k);
+            let (gx, gy, gz) = (ix as f32 * g.h, iy as f32 * g.h, iz as f32 * g.h);
+            let brute: usize = input
+                .atoms
+                .iter()
+                .filter(|a| {
+                    let (dx, dy, dz) = (gx - a.x, gy - a.y, gz - a.z);
+                    dx * dx + dy * dy + dz * dz <= c2
+                })
+                .count();
+            let via_bins = bins
+                .neighbours(gx, gy, gz)
+                .filter(|a| {
+                    let (dx, dy, dz) = (gx - a.x, gy - a.y, gz - a.z);
+                    dx * dx + dy * dy + dz * dz <= c2
+                })
+                .count();
+            assert_eq!(via_bins, brute, "grid point {k}");
+        }
+    }
+}

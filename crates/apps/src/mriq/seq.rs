@@ -1,0 +1,25 @@
+//! Sequential reference implementation ("sequential C"): plain nested loops
+//! over pixels and samples, `f32` throughout.
+
+use super::{ftcoeff, MriqInput, MriqOutput};
+
+/// Compute the reconstruction with straightforward sequential loops.
+pub fn run_seq(input: &MriqInput) -> MriqOutput {
+    let samples = input.samples();
+    let n = input.num_pixels();
+    let mut qr = vec![0.0f32; n];
+    let mut qi = vec![0.0f32; n];
+    for p in 0..n {
+        let (x, y, z) = (input.x[p], input.y[p], input.z[p]);
+        let mut sr = 0.0f32;
+        let mut si = 0.0f32;
+        for k in 0..samples.kx.len() {
+            let (cr, ci) = ftcoeff(&samples, k, x, y, z);
+            sr += cr;
+            si += ci;
+        }
+        qr[p] = sr;
+        qi[p] = si;
+    }
+    MriqOutput { qr, qi }
+}

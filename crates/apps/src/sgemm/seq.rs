@@ -1,0 +1,25 @@
+//! Sequential reference: transpose `B`, then a cache-friendly triple loop.
+
+use triolet::Array2;
+
+use super::{dot_rows, SgemmInput};
+
+/// Sequential transpose.
+pub fn transpose_seq(m: &Array2<f32>) -> Array2<f32> {
+    m.transpose()
+}
+
+/// Compute `alpha * A * B` with plain sequential loops.
+pub fn run_seq(input: &SgemmInput) -> Array2<f32> {
+    let bt = transpose_seq(&input.b);
+    let m = input.a.rows();
+    let n = input.b.cols();
+    let mut c = Array2::<f32>::zeros(m, n);
+    for i in 0..m {
+        let a_row = input.a.row(i);
+        for j in 0..n {
+            c[(i, j)] = input.alpha * dot_rows(a_row, bt.row(j));
+        }
+    }
+    c
+}

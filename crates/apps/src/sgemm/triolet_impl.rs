@@ -1,0 +1,55 @@
+//! Triolet implementation: the paper's two-line 2-D block decomposition.
+//!
+//! ```python
+//! zipped_AB = outerproduct(rows(A), rows(BT))
+//! AB = [alpha * dot(u, v) for (u, v) in par(zipped_AB)]
+//! ```
+//!
+//! `outerproduct(rows(A), rows(BT))` associates each 2-D output block with
+//! exactly the `A` rows and `B^T` rows covering it; slicing per node ships
+//! only those rows (§2, §3.5). The transpose runs `localpar`: "Single-node
+//! parallelization leverages shared memory to obtain speedup on loops that
+//! do very little work per byte of data, such as matrix transposition."
+
+use triolet::prelude::*;
+use triolet::{Array2, RunStats};
+use triolet_iter::{RowRef, RowsIdx};
+
+use super::{dot_rows, SgemmInput};
+
+/// Shared-memory parallel transpose: `[B[x,y] for (y,x) in range2d(n, k)]`.
+pub fn transpose_triolet(rt: &Triolet, b: &Array2<f32>) -> (Array2<f32>, RunStats) {
+    let data = b.to_shared();
+    let (rows, cols) = (b.rows(), b.cols());
+    let it = range2d(cols, rows)
+        .map(move |(y, x): (usize, usize)| data[x * cols + y])
+        .localpar();
+    rt.build_array2(it)
+}
+
+/// Run sgemm through the Triolet skeletons on `rt`.
+pub fn run_triolet(rt: &Triolet, input: &SgemmInput) -> (Array2<f32>, RunStats) {
+    // Transpose on shared memory first (sequential bottleneck elsewhere).
+    let (bt, t_stats) = transpose_triolet(rt, &input.b);
+    let alpha = input.alpha;
+
+    // The two-liner.
+    let zipped_ab = outerproduct(rows(&input.a), rows(&bt)).par();
+    let (c, mut stats) = rt.build_array2(
+        zipped_ab.map(move |(u, v): (RowRef<f32>, RowRef<f32>)| {
+            alpha * dot_rows(u.as_slice(), v.as_slice())
+        }),
+    );
+    // Total time includes the transpose phase.
+    stats.total_s += t_stats.total_s;
+    stats.root_s += t_stats.root_s;
+    (c, stats)
+}
+
+/// Concrete type of the sgemm outer-product indexer.
+pub type Dim2OuterProduct = triolet_iter::OuterProductIdx<RowsIdx<f32>, RowsIdx<f32>>;
+
+/// The block-decomposed input iterator, exposed for tests and ablations.
+pub fn zipped_ab(a: &Array2<f32>, bt: &Array2<f32>) -> IdxFlat<Dim2OuterProduct> {
+    outerproduct(rows(a), rows(bt))
+}

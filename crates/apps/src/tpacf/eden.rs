@@ -1,0 +1,118 @@
+//! Eden-style tpacf (paper §4.4).
+//!
+//! "The Eden code subdivides data in order to produce enough work to occupy
+//! all threads" and pays "somewhat worse sequential performance and a higher
+//! communication overhead": every task input carries its own copy of the
+//! observed set (input data "unnecessarily replicated for use in multiple
+//! loop iterations", §1), and the pair loops run through boxed stepper
+//! pipelines — the 2–5x nested-traversal penalty of §3.1.
+
+use triolet::RunStats;
+use triolet_baselines::{boxed_pipeline, EdenError, EdenRt};
+use triolet_serial::{Wire, WireReader, WireResult, WireWriter};
+
+use super::{hist_len, score, Point, TpacfInput, TpacfOutput};
+
+/// One Eden task: a random set (or a DD marker) plus replicated context.
+#[derive(Clone)]
+pub struct EdenTask {
+    /// `None`: compute DD over `obs`; `Some(rand)`: compute DR and RR for
+    /// one random set.
+    rand: Option<Vec<Point>>,
+    obs: Vec<Point>,
+    bin_edges: Vec<f64>,
+}
+
+impl Wire for EdenTask {
+    fn pack(&self, w: &mut WireWriter) {
+        self.rand.pack(w);
+        self.obs.pack(w);
+        self.bin_edges.pack(w);
+    }
+    fn unpack(r: &mut WireReader) -> WireResult<Self> {
+        Ok(EdenTask {
+            rand: Option::unpack(r)?,
+            obs: Vec::unpack(r)?,
+            bin_edges: Vec::unpack(r)?,
+        })
+    }
+    fn packed_size(&self) -> usize {
+        self.rand.packed_size() + self.obs.packed_size() + self.bin_edges.packed_size()
+    }
+}
+
+type ThreeHists = (Vec<u64>, Vec<u64>, Vec<u64>);
+
+/// Self-correlation through boxed pipelines (the unfused stepper chain).
+fn boxed_self(bin_edges: &[f64], set: &[Point], hist: &mut [u64]) {
+    let pairs = boxed_pipeline(
+        (0..set.len()).flat_map(|i| {
+            let u = set[i];
+            boxed_pipeline(set[i + 1..].iter().map(move |&v| (u, v)))
+        }),
+    );
+    let scored = boxed_pipeline(pairs.map(|(u, v)| score(bin_edges, u, v)));
+    for bin in scored {
+        hist[bin] += 1;
+    }
+}
+
+/// Cross-correlation through boxed pipelines.
+fn boxed_cross(bin_edges: &[f64], a: &[Point], b: &[Point], hist: &mut [u64]) {
+    let pairs = boxed_pipeline(
+        a.iter().flat_map(|&u| boxed_pipeline(b.iter().map(move |&v| (u, v)))),
+    );
+    let scored = boxed_pipeline(pairs.map(|(u, v)| score(bin_edges, u, v)));
+    for bin in scored {
+        hist[bin] += 1;
+    }
+}
+
+/// Run tpacf through the Eden runtime.
+pub fn run_eden(rt: &EdenRt, input: &TpacfInput) -> Result<(TpacfOutput, RunStats), EdenError> {
+    let bins = hist_len(input);
+    let mut tasks: Vec<EdenTask> = vec![EdenTask {
+        rand: None,
+        obs: input.obs.clone(),
+        bin_edges: input.bin_edges.clone(),
+    }];
+    for rand in &input.rands {
+        tasks.push(EdenTask {
+            rand: Some(rand.clone()),
+            obs: input.obs.clone(), // replicated per task
+            bin_edges: input.bin_edges.clone(),
+        });
+    }
+
+    let (out, stats) = rt.map_reduce(
+        tasks,
+        move |t: EdenTask| -> ThreeHists {
+            let mut dd = vec![0u64; bins];
+            let mut dr = vec![0u64; bins];
+            let mut rr = vec![0u64; bins];
+            match &t.rand {
+                None => boxed_self(&t.bin_edges, &t.obs, &mut dd),
+                Some(rand) => {
+                    boxed_cross(&t.bin_edges, &t.obs, rand, &mut dr);
+                    boxed_self(&t.bin_edges, rand, &mut rr);
+                }
+            }
+            (dd, dr, rr)
+        },
+        |mut a, b| {
+            for (x, y) in a.0.iter_mut().zip(b.0) {
+                *x += y;
+            }
+            for (x, y) in a.1.iter_mut().zip(b.1) {
+                *x += y;
+            }
+            for (x, y) in a.2.iter_mut().zip(b.2) {
+                *x += y;
+            }
+            a
+        },
+        move || (vec![0u64; bins], vec![0u64; bins], vec![0u64; bins]),
+    )?;
+
+    Ok((TpacfOutput { dd: out.0, dr: out.1, rr: out.2 }, stats))
+}

@@ -1,0 +1,225 @@
+//! tpacf: the two-point angular correlation function (paper §4.4).
+//!
+//! "The tpacf application analyzes the angular distribution of observed
+//! astronomical objects. It uses histogramming and nested traversals,
+//! presenting a challenge for conventional fusion frameworks. Three
+//! histograms are computed using different inputs. One loop compares an
+//! observed data set with itself [DD]; one compares it with several random
+//! data sets [DR]; and one compares each random data set with itself [RR].
+//! We parallelize across data sets and across elements of a data set."
+//!
+//! Each comparison computes the angle between two unit vectors on the
+//! celestial sphere and bins it into logarithmically spaced angular bins.
+
+mod eden;
+mod lowlevel;
+mod seq;
+mod triolet_impl;
+
+pub use eden::run_eden;
+pub use lowlevel::run_lowlevel;
+pub use seq::run_seq;
+pub use triolet_impl::run_triolet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point on the unit sphere (3-D Cartesian unit vector).
+pub type Point = (f64, f64, f64);
+
+/// Problem instance: the observed dataset and the random comparison sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpacfInput {
+    /// Observed objects.
+    pub obs: Vec<Point>,
+    /// Random datasets, each the same length as `obs`.
+    pub rands: Vec<Vec<Point>>,
+    /// Angular bin edges in `cos(theta)`, descending (angle ascending).
+    pub bin_edges: Vec<f64>,
+}
+
+/// The three correlation histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpacfOutput {
+    /// Observed-observed (data-data) histogram.
+    pub dd: Vec<u64>,
+    /// Observed-random (data-random) histogram, summed over random sets.
+    pub dr: Vec<u64>,
+    /// Random-random self-correlation histogram, summed over random sets.
+    pub rr: Vec<u64>,
+}
+
+/// Number of angular bins used by the generator (Parboil uses a few dozen
+/// logarithmic bins).
+pub const DEFAULT_BINS: usize = 32;
+
+/// Deterministic synthetic instance: `n` observed points and `n_rand` random
+/// datasets of `n` points each, uniform on the sphere; logarithmic angular
+/// bins from 0.01 to 90 degrees.
+pub fn generate(n: usize, n_rand: usize, bins: usize, seed: u64) -> TpacfInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sphere_points = |rng: &mut StdRng, n: usize| -> Vec<Point> {
+        (0..n)
+            .map(|_| {
+                // Marsaglia's method for uniform sphere sampling.
+                loop {
+                    let a: f64 = rng.gen_range(-1.0..1.0);
+                    let b: f64 = rng.gen_range(-1.0..1.0);
+                    let s = a * a + b * b;
+                    if s < 1.0 {
+                        let t = 2.0 * (1.0 - s).sqrt();
+                        break (a * t, b * t, 1.0 - 2.0 * s);
+                    }
+                }
+            })
+            .collect()
+    };
+    let obs = sphere_points(&mut rng, n);
+    let rands = (0..n_rand).map(|_| sphere_points(&mut rng, n)).collect();
+    TpacfInput { obs, rands, bin_edges: log_bins(bins) }
+}
+
+/// Logarithmically spaced bin edges in `cos(theta)`, descending: bin `i`
+/// covers angles in `[edge_angle(i), edge_angle(i+1))` from 0.01 to 90
+/// degrees.
+pub fn log_bins(bins: usize) -> Vec<f64> {
+    let min_deg = 0.01f64;
+    let max_deg = 90.0f64;
+    let ratio = (max_deg / min_deg).powf(1.0 / bins as f64);
+    let mut edges = Vec::with_capacity(bins + 1);
+    for i in 0..=bins {
+        let angle_deg = min_deg * ratio.powi(i as i32);
+        edges.push(angle_deg.to_radians().cos());
+    }
+    edges
+}
+
+/// Bin index for a pair of unit vectors: the paper's `score(size, u, v)`.
+///
+/// Returns `bins` (the overflow cell) for angles below the smallest edge, so
+/// no pair is silently dropped.
+#[inline]
+pub fn score(bin_edges: &[f64], u: Point, v: Point) -> usize {
+    let dot = (u.0 * v.0 + u.1 * v.1 + u.2 * v.2).clamp(-1.0, 1.0);
+    // Edges descend in cos; find the first bin whose lower cos edge is
+    // below the dot (i.e. whose angle exceeds the pair's angle).
+    // bin i covers cos in (edges[i+1], edges[i]].
+    let bins = bin_edges.len() - 1;
+    if dot > bin_edges[0] {
+        return bins; // closer than the smallest angle: overflow cell
+    }
+    // Binary search on the descending edge array.
+    let mut lo = 0usize;
+    let mut hi = bins;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if dot > bin_edges[mid + 1] {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo.min(bins - 1)
+}
+
+/// Histogram bin count for an input (bins plus one overflow cell).
+pub fn hist_len(input: &TpacfInput) -> usize {
+    input.bin_edges.len()
+}
+
+/// Validate two outputs exactly (histograms are integral).
+pub fn validate(a: &TpacfOutput, b: &TpacfOutput) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triolet::prelude::*;
+    use triolet_baselines::{EdenRt, LowLevelRt};
+
+    fn small() -> TpacfInput {
+        generate(60, 3, 16, 99)
+    }
+
+    #[test]
+    fn generator_points_are_unit() {
+        let input = small();
+        for &(x, y, z) in input.obs.iter().chain(input.rands.iter().flatten()) {
+            let norm = (x * x + y * y + z * z).sqrt();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn score_bins_are_total() {
+        // Every pair must land in some bin (including the overflow cell).
+        let input = small();
+        let bins = hist_len(&input);
+        for &u in &input.obs[..10] {
+            for &v in &input.obs[..10] {
+                assert!(score(&input.bin_edges, u, v) < bins);
+            }
+        }
+    }
+
+    #[test]
+    fn score_monotone_in_angle() {
+        let edges = log_bins(16);
+        // A pair at angle 1 degree must bin strictly below a pair at 45.
+        let u = (1.0, 0.0, 0.0);
+        let v1 = (1.0f64.to_radians().cos(), 1.0f64.to_radians().sin(), 0.0);
+        let v45 = (45.0f64.to_radians().cos(), 45.0f64.to_radians().sin(), 0.0);
+        assert!(score(&edges, u, v1) < score(&edges, u, v45));
+    }
+
+    #[test]
+    fn seq_histogram_totals() {
+        let input = small();
+        let out = run_seq(&input);
+        let n = input.obs.len() as u64;
+        let nr = input.rands.len() as u64;
+        // DD counts all unique pairs once.
+        assert_eq!(out.dd.iter().sum::<u64>(), n * (n - 1) / 2);
+        // DR counts n*n pairs per random set.
+        assert_eq!(out.dr.iter().sum::<u64>(), nr * n * n);
+        // RR counts unique pairs per random set.
+        assert_eq!(out.rr.iter().sum::<u64>(), nr * n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn triolet_matches_seq() {
+        let input = small();
+        let expect = run_seq(&input);
+        let rt = Triolet::new(ClusterConfig::virtual_cluster(3, 2));
+        let (got, stats) = run_triolet(&rt, &input);
+        assert!(validate(&expect, &got));
+        assert!(stats.bytes_out > 0);
+    }
+
+    #[test]
+    fn lowlevel_matches_seq() {
+        let input = small();
+        let expect = run_seq(&input);
+        let rt = LowLevelRt::new(ClusterConfig::virtual_cluster(3, 2));
+        let (got, _) = run_lowlevel(&rt, &input);
+        assert!(validate(&expect, &got));
+    }
+
+    #[test]
+    fn eden_matches_seq() {
+        let input = small();
+        let expect = run_seq(&input);
+        let rt = EdenRt::new(2, 2);
+        let (got, _) = run_eden(&rt, &input).expect("payloads fit Eden buffers");
+        assert!(validate(&expect, &got));
+    }
+
+    #[test]
+    fn node_count_does_not_change_histograms() {
+        let input = small();
+        let a = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(1, 1)), &input).0;
+        let b = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(8, 4)), &input).0;
+        assert!(validate(&a, &b));
+    }
+}

@@ -1,0 +1,37 @@
+//! Sequential reference: plain nested loops and a mutable histogram.
+
+use super::{hist_len, score, Point, TpacfInput, TpacfOutput};
+
+/// Self-correlation: all unique pairs `(i, j)` with `j > i`.
+pub fn self_correlation(bin_edges: &[f64], set: &[Point], hist: &mut [u64]) {
+    for i in 0..set.len() {
+        let u = set[i];
+        for &v in &set[i + 1..] {
+            hist[score(bin_edges, u, v)] += 1;
+        }
+    }
+}
+
+/// Cross-correlation: all pairs from `a x b`.
+pub fn cross_correlation(bin_edges: &[f64], a: &[Point], b: &[Point], hist: &mut [u64]) {
+    for &u in a {
+        for &v in b {
+            hist[score(bin_edges, u, v)] += 1;
+        }
+    }
+}
+
+/// Compute the three histograms with sequential loops.
+pub fn run_seq(input: &TpacfInput) -> TpacfOutput {
+    let bins = hist_len(input);
+    let mut dd = vec![0u64; bins];
+    self_correlation(&input.bin_edges, &input.obs, &mut dd);
+
+    let mut dr = vec![0u64; bins];
+    let mut rr = vec![0u64; bins];
+    for rand in &input.rands {
+        cross_correlation(&input.bin_edges, &input.obs, rand, &mut dr);
+        self_correlation(&input.bin_edges, rand, &mut rr);
+    }
+    TpacfOutput { dd, dr, rr }
+}

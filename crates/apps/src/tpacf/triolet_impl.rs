@@ -1,0 +1,117 @@
+//! Triolet implementation: the paper's Figure 6, transcribed.
+//!
+//! ```python
+//! def correlation(size, pairs):
+//!     values = (score(size, u, v) for (u, v) in pairs)
+//!     return histogram(size, values)
+//!
+//! def randomSetsCorrelation(size, corr1, rands):
+//!     return reduce(add, empty, par(corr1(r) for r in rands))
+//!
+//! def selfCorrelations(size, obs, rands):
+//!     def corr1(rand):
+//!         indexed_rand = zip(indices(domain(rand)), rand)
+//!         pairs = localpar((u, v) for (i, u) in indexed_rand
+//!                                 for v in rand[i+1:])
+//!         return correlation(size, pairs)
+//!     return randomSetsCorrelation(size, corr1, rands)
+//! ```
+//!
+//! The outer loop parallelizes across random datasets (`par`), slicing the
+//! dataset array so each node receives only its datasets; the triangular
+//! inner pair loop is the hybrid-iterator showpiece — `zip` + `concat_map`
+//! over suffixes fused straight into the histogram collector. The DD loop
+//! runs the same pair iterator `localpar` over the observed set.
+
+use std::sync::Arc;
+
+use triolet::prelude::*;
+use triolet::{Collector, CountHist, RunStats};
+use triolet_iter::StepFlat;
+
+use super::{hist_len, score, Point, TpacfInput, TpacfOutput};
+
+/// The fused triangular pair loop of Figure 6 lines 15–18, drained into a
+/// histogram (the `correlation` function): runs inside one task.
+fn corr1_self(bin_edges: &Arc<Vec<f64>>, rand: &[Point], bins: usize) -> CountHist {
+    let data = Arc::new(rand.to_vec());
+    let inner_data = Arc::clone(&data);
+    let edges = Arc::clone(bin_edges);
+    let pairs = zip(range(data.len()), from_vec(rand.to_vec()))
+        .concat_map(move |(i, u): (usize, Point)| {
+            let rand = Arc::clone(&inner_data);
+            StepFlat::new((i + 1..rand.len()).map(move |j| (u, rand[j])))
+        })
+        .map(move |(u, v): (Point, Point)| score(&edges, u, v));
+    let mut h = CountHist::new(bins);
+    pairs.collect_into(&mut h);
+    h
+}
+
+/// Cross-correlation pair loop for one dataset against the observed set.
+fn corr1_cross(bin_edges: &Arc<Vec<f64>>, obs: &[Point], rand: &[Point], bins: usize) -> CountHist {
+    let obs = Arc::new(obs.to_vec());
+    let edges = Arc::clone(bin_edges);
+    let pairs = from_vec(rand.to_vec())
+        .concat_map(move |v: Point| {
+            let obs = Arc::clone(&obs);
+            StepFlat::new((0..obs.len()).map(move |i| (obs[i], v)))
+        })
+        .map(move |(u, v): (Point, Point)| score(&edges, u, v));
+    let mut h = CountHist::new(bins);
+    pairs.collect_into(&mut h);
+    h
+}
+
+/// Run tpacf through the Triolet skeletons on `rt`.
+pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> (TpacfOutput, RunStats) {
+    let bins = hist_len(input);
+    let edges = Arc::new(input.bin_edges.clone());
+
+    // --- DD: self-correlation of the observed set, localpar --------------
+    let dd_edges = Arc::clone(&edges);
+    let obs_data = Arc::new(input.obs.clone());
+    let inner_obs = Arc::clone(&obs_data);
+    let dd_pairs = zip(range(input.obs.len()), from_vec(input.obs.clone()))
+        .concat_map(move |(i, u): (usize, Point)| {
+            let obs = Arc::clone(&inner_obs);
+            StepFlat::new((i + 1..obs.len()).map(move |j| (u, obs[j])))
+        })
+        .map(move |(u, v): (Point, Point)| score(&dd_edges, u, v))
+        .localpar();
+    let (dd, dd_stats) = rt.histogram(bins, dd_pairs);
+
+    // --- RR: self-correlation of each random set, par over sets ----------
+    let rr_edges = Arc::clone(&edges);
+    let (rr_hist, rr_stats) = rt.fold_reduce(
+        from_vec(input.rands.clone()).par(),
+        move || CountHist::new(bins),
+        move |mut h: CountHist, rand: Vec<Point>| {
+            h.merge(corr1_self(&rr_edges, &rand, bins));
+            h
+        },
+        |mut a, b| {
+            a.merge(b);
+            a
+        },
+    );
+
+    // --- DR: each random set against the observed set (broadcast env) ----
+    let dr_edges = Arc::clone(&edges);
+    let (dr_hist, dr_stats) = rt.fold_reduce_env(
+        from_vec(input.rands.clone()).par(),
+        &input.obs,
+        move || CountHist::new(bins),
+        move |obs: &Vec<Point>, mut h: CountHist, rand: Vec<Point>| {
+            h.merge(corr1_cross(&dr_edges, obs, &rand, bins));
+            h
+        },
+        |mut a, b| {
+            a.merge(b);
+            a
+        },
+    );
+
+    let stats = dd_stats.then(rr_stats).then(dr_stats);
+    (TpacfOutput { dd, dr: dr_hist.finish(), rr: rr_hist.finish() }, stats)
+}

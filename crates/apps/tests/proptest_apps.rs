@@ -1,0 +1,140 @@
+//! Property tests over the four applications: for random instance
+//! parameters, all four implementations must agree and obey the apps'
+//! structural invariants.
+
+use proptest::prelude::*;
+use triolet::prelude::*;
+use triolet_apps::{cutcp, mriq, sgemm, tpacf};
+use triolet_baselines::{EdenRt, LowLevelRt};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn mriq_all_models_agree(
+        pixels in 1usize..80,
+        samples in 1usize..40,
+        seed in any::<u64>(),
+        nodes in 1usize..5,
+        tpn in 1usize..5,
+    ) {
+        let input = mriq::generate(pixels, samples, seed);
+        let expect = mriq::run_seq(&input);
+        let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
+        let (got, _) = mriq::run_triolet(&rt, &input);
+        prop_assert!(mriq::validate(&expect, &got, 1e-3));
+        let ll = LowLevelRt::new(ClusterConfig::virtual_cluster(nodes, tpn));
+        let (got, _) = mriq::run_lowlevel(&ll, &input);
+        prop_assert!(mriq::validate(&expect, &got, 1e-3));
+    }
+
+    #[test]
+    fn sgemm_all_models_agree(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in any::<u64>(),
+        nodes in 1usize..5,
+    ) {
+        let input = sgemm::generate_rect(m, k, n, seed);
+        let expect = sgemm::run_seq(&input);
+        let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, 2));
+        let (got, _) = sgemm::run_triolet(&rt, &input);
+        prop_assert!(sgemm::validate(&expect, &got, 1e-3));
+        let ll = LowLevelRt::new(ClusterConfig::virtual_cluster(nodes, 2));
+        let (got, _) = sgemm::run_lowlevel(&ll, &input);
+        prop_assert!(sgemm::validate(&expect, &got, 1e-3));
+    }
+
+    #[test]
+    fn tpacf_histogram_totals_invariant(
+        n in 2usize..40,
+        n_rand in 0usize..4,
+        bins in 2usize..24,
+        seed in any::<u64>(),
+        nodes in 1usize..4,
+    ) {
+        let input = tpacf::generate(n, n_rand, bins, seed);
+        let expect = tpacf::run_seq(&input);
+        // Structural invariants of the sequential reference.
+        let pairs = (n * (n - 1) / 2) as u64;
+        prop_assert_eq!(expect.dd.iter().sum::<u64>(), pairs);
+        prop_assert_eq!(expect.rr.iter().sum::<u64>(), n_rand as u64 * pairs);
+        prop_assert_eq!(expect.dr.iter().sum::<u64>(), (n_rand * n * n) as u64);
+        // Cross-model equality (histograms are exact).
+        let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, 2));
+        let (got, _) = tpacf::run_triolet(&rt, &input);
+        prop_assert!(tpacf::validate(&expect, &got));
+        let eden = EdenRt::new(nodes, 2);
+        let (got, _) = tpacf::run_eden(&eden, &input).expect("small payloads");
+        prop_assert!(tpacf::validate(&expect, &got));
+    }
+
+    #[test]
+    fn cutcp_grid_agrees_and_superposes(
+        atoms in 1usize..50,
+        dim in 4usize..12,
+        seed in any::<u64>(),
+        nodes in 1usize..4,
+    ) {
+        let input = cutcp::generate(atoms, dim, seed);
+        let expect = cutcp::run_seq(&input);
+        let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, 2));
+        let (got, _) = cutcp::run_triolet(&rt, &input);
+        prop_assert!(cutcp::validate(&expect, &got, 1e-9));
+
+        // Superposition: the field of all atoms equals the sum of the
+        // fields of disjoint atom subsets.
+        if input.atoms.len() >= 2 {
+            let mid = input.atoms.len() / 2;
+            let first = cutcp::CutcpInput {
+                atoms: input.atoms[..mid].to_vec(),
+                geom: input.geom,
+            };
+            let second = cutcp::CutcpInput {
+                atoms: input.atoms[mid..].to_vec(),
+                geom: input.geom,
+            };
+            let sum: Vec<f64> = cutcp::run_seq(&first)
+                .iter()
+                .zip(cutcp::run_seq(&second))
+                .map(|(a, b)| a + b)
+                .collect();
+            prop_assert!(cutcp::validate(&expect, &sum, 1e-9));
+        }
+    }
+
+    #[test]
+    fn mriq_output_scales_linearly_with_phi(
+        pixels in 1usize..40,
+        samples in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        // Q is linear in phiMag: doubling phi_r and phi_i quadruples phiMag
+        // and thus quadruples Q.
+        let input = mriq::generate(pixels, samples, seed);
+        let mut scaled = input.clone();
+        for v in scaled.phi_r.iter_mut().chain(scaled.phi_i.iter_mut()) {
+            *v *= 2.0;
+        }
+        let base = mriq::run_seq(&input);
+        let big = mriq::run_seq(&scaled);
+        for (a, b) in base.qr.iter().zip(&big.qr) {
+            prop_assert!((4.0 * a - b).abs() <= 1e-3 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sgemm_alpha_scales_output(
+        dim in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut input = sgemm::generate(dim, seed);
+        let c1 = sgemm::run_seq(&input);
+        input.alpha *= 3.0;
+        let c3 = sgemm::run_seq(&input);
+        for (a, b) in c1.as_slice().iter().zip(c3.as_slice()) {
+            prop_assert!((3.0 * a - b).abs() <= 1e-4 * b.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Ablation: fused hybrid-iterator pipelines (paper §3.2) vs materializing
+//! every intermediate collection.
+//!
+//! The same map→filter→map→sum computation three ways: fused through the
+//! hybrid shapes, materialized Vec-per-stage (what a skeleton library
+//! without fusion executes), and through a dyn-dispatch stepper chain (an
+//! unoptimized stepper pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use triolet::prelude::*;
+use triolet_baselines::boxed_pipeline;
+
+const N: i64 = 1_000_000;
+
+fn data() -> Vec<i64> {
+    (0..N).map(|i| (i * 2654435761) % 1009 - 500).collect()
+}
+
+fn fusion(c: &mut Criterion) {
+    let xs = data();
+    let mut g = c.benchmark_group("ablation_fusion");
+
+    g.bench_function("fused_hybrid", |b| {
+        b.iter(|| {
+            let s: i64 = from_vec(xs.clone())
+                .map(|x: i64| x * 3 + 1)
+                .filter(|v: &i64| v % 2 == 0)
+                .map(|v: i64| v >> 1)
+                .sum_scalar();
+            black_box(s)
+        })
+    });
+
+    g.bench_function("materialized_stages", |b| {
+        b.iter(|| {
+            // One full temporary collection per skeleton call.
+            let s1: Vec<i64> = xs.iter().map(|&x| x * 3 + 1).collect();
+            let s2: Vec<i64> = s1.into_iter().filter(|v| v % 2 == 0).collect();
+            let s3: Vec<i64> = s2.into_iter().map(|v| v >> 1).collect();
+            black_box(s3.into_iter().sum::<i64>())
+        })
+    });
+
+    g.bench_function("dyn_stepper_chain", |b| {
+        b.iter(|| {
+            let p1 = boxed_pipeline(xs.iter().map(|&x| x * 3 + 1));
+            let p2 = boxed_pipeline(p1.filter(|v| v % 2 == 0));
+            let p3 = boxed_pipeline(p2.map(|v| v >> 1));
+            black_box(p3.sum::<i64>())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, fusion);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: cutcp scatter vs gather decomposition.
+//!
+//! The paper's cutcp scatters (parallel over atoms, per-node grid partials
+//! merged — the cause of its early saturation, §4.5). The gather variant
+//! (parallel over grid points, binned atoms broadcast) removes the grid
+//! reduction at the cost of shipping the atoms everywhere. This bench
+//! isolates the trade at two cluster sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use triolet::prelude::*;
+use triolet_apps::cutcp;
+
+fn scatter_vs_gather(c: &mut Criterion) {
+    let input = cutcp::generate(2_000, 24, 11);
+    let mut g = c.benchmark_group("ablation_scatter_gather");
+    g.sample_size(10);
+    for nodes in [2usize, 8] {
+        g.bench_with_input(BenchmarkId::new("scatter", nodes), &nodes, |b, &n| {
+            let input = input.clone();
+            b.iter(|| {
+                let rt = Triolet::new(ClusterConfig::virtual_cluster(n, 4));
+                black_box(cutcp::run_triolet(&rt, &input).1.total_s)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gather", nodes), &nodes, |b, &n| {
+            let input = input.clone();
+            b.iter(|| {
+                let rt = Triolet::new(ClusterConfig::virtual_cluster(n, 4));
+                black_box(cutcp::run_triolet_gather(&rt, &input).1.total_s)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scatter_vs_gather);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation: data slicing (paper §3.5) vs Eden-style full-copy shipping.
+//!
+//! Isolates the design choice: the same map-reduce over the same data, once
+//! with per-node slices (Triolet), once with one full copy per node (naive
+//! Eden). The modeled time gap is pure communication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use triolet::prelude::*;
+use triolet_baselines::EdenRt;
+
+const N: usize = 200_000;
+const NODES: usize = 8;
+
+fn workload() -> Vec<f32> {
+    (0..N).map(|i| (i % 1000) as f32 * 0.001).collect()
+}
+
+fn slicing_vs_full_copy(c: &mut Criterion) {
+    let data = workload();
+    let mut g = c.benchmark_group("ablation_slicing");
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::new("sliced", NODES), &data, |b, data| {
+        b.iter(|| {
+            let rt = Triolet::new(ClusterConfig::virtual_cluster(NODES, 2));
+            let (s, stats) = rt.sum(from_vec(data.clone()).map(|x: f32| x as f64).par());
+            black_box((s, stats.total_s))
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::new("full_copy", NODES), &data, |b, data| {
+        b.iter(|| {
+            let rt = EdenRt::new(NODES, 2).with_msg_limit(usize::MAX);
+            let n = data.len();
+            let (s, stats) = rt
+                .map_reduce_full_copy(
+                    data.clone(),
+                    NODES * 2,
+                    move |d, tid| {
+                        let chunk = n / (NODES * 2);
+                        d[tid * chunk..(tid + 1) * chunk]
+                            .iter()
+                            .map(|&x| x as f64)
+                            .sum::<f64>()
+                    },
+                    |a, b| a + b,
+                    || 0.0f64,
+                )
+                .expect("limit disabled");
+            black_box((s, stats.total_s))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, slicing_vs_full_copy);
+criterion_main!(benches);

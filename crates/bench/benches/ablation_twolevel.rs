@@ -1,0 +1,50 @@
+//! Ablation: two-level distribution (paper §3.4) vs a flat process-per-core
+//! view of the machine.
+//!
+//! The same tpacf-style reduction on the same 32-core machine, organized as
+//! 2 nodes x 16 shared-memory threads (Triolet) vs 32 single-threaded
+//! message-passing processes (flat, Eden-like). Flat parallelism pays
+//! per-process data copies and per-process result messages where the
+//! two-level version uses shared memory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use triolet::prelude::*;
+use triolet_apps::tpacf;
+use triolet_baselines::{EdenRt, LowLevelRt};
+
+fn two_level_vs_flat(c: &mut Criterion) {
+    let input = tpacf::generate(128, 32, 16, 7);
+    let mut g = c.benchmark_group("ablation_twolevel");
+    g.sample_size(10);
+
+    // Two-level: 2 nodes x 16 threads (32 cores).
+    g.bench_function("two_level_2x16", |b| {
+        b.iter(|| {
+            let rt = Triolet::new(ClusterConfig::virtual_cluster(2, 16));
+            black_box(tpacf::run_triolet(&rt, &input).1.total_s)
+        })
+    });
+
+    // Flat skeletons: 32 nodes x 1 thread — every "core" is a remote rank.
+    g.bench_function("flat_32x1_lowlevel", |b| {
+        b.iter(|| {
+            let rt = LowLevelRt::new(ClusterConfig::virtual_cluster(32, 1));
+            black_box(tpacf::run_lowlevel(&rt, &input).1.total_s)
+        })
+    });
+
+    // Flat Eden processes: 32 processes, intra-node copies everywhere.
+    g.bench_function("flat_eden_2x16", |b| {
+        b.iter(|| {
+            let rt = EdenRt::new(2, 16);
+            black_box(tpacf::run_eden(&rt, &input).expect("fits buffers").1.total_s)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, two_level_vs_flat);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figure 1 bench: the cost of each fusible encoding on the same loops.
+//!
+//! Regenerates the paper's encoding-capability story as timings: the
+//! indexer, stepper, fold, and collector encodings all computing the same
+//! flat sum; then the nested-traversal case where the stepper encoding is
+//! the documented "slow" cell and the fold/hybrid encoding is not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use triolet::prelude::*;
+use triolet::StepFlat;
+use triolet_iter::foldenc::FoldEnc;
+use triolet_iter::indexer::{ArrayIdx, Indexer as _};
+use triolet_iter::stepper::IdxStepper;
+
+fn bench_flat_sum(c: &mut Criterion) {
+    let n = 100_000usize;
+    let xs: Vec<i64> = (0..n as i64).collect();
+    let mut g = c.benchmark_group("fig1_flat_sum");
+
+    g.bench_function("indexer", |b| {
+        let idx = ArrayIdx::new(xs.clone());
+        b.iter(|| {
+            let dom = idx.domain();
+            let mut acc = 0i64;
+            for k in 0..dom.count() {
+                acc += idx.get(k);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("stepper", |b| {
+        let idx = ArrayIdx::new(xs.clone());
+        b.iter(|| {
+            let s = IdxStepper::over_all(idx.clone());
+            black_box(s.sum::<i64>())
+        })
+    });
+
+    g.bench_function("fold", |b| {
+        let idx = ArrayIdx::new(xs.clone());
+        b.iter(|| {
+            let f = FoldEnc::from_indexer(idx.clone(), idx.domain().whole_part());
+            black_box(f.fold(0i64, |a, x| a + x))
+        })
+    });
+
+    g.bench_function("collector", |b| {
+        let idx = ArrayIdx::new(xs.clone());
+        b.iter(|| {
+            let f = FoldEnc::from_indexer(idx.clone(), idx.domain().whole_part());
+            let s = f.into_collector(triolet_iter::SumCollector::<i64>::new());
+            black_box(triolet::Collector::finish(s))
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_nested_traversal(c: &mut Criterion) {
+    // The "slow" cell: nested traversal through the stepper encoding vs the
+    // hybrid shapes' fold consumption of the same loop nest.
+    let n = 20_000i64;
+    let make = move || {
+        from_vec((0..n).collect::<Vec<i64>>())
+            .concat_map(|x: i64| StepFlat::new((0..x % 23).map(move |y| x ^ y)))
+    };
+    let mut g = c.benchmark_group("fig1_nested_traversal");
+    for (name, stepper) in [("fold_hybrid", false), ("stepper_chain", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &stepper, |b, &stepper| {
+            b.iter(|| {
+                if stepper {
+                    black_box(make().into_step().fold(0i64, |a, b| a ^ b))
+                } else {
+                    black_box(make().fold_items(0i64, &mut |a, b| a ^ b))
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flat_sum, bench_nested_traversal);
+criterion_main!(benches);

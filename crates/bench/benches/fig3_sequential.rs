@@ -1,0 +1,124 @@
+//! Figure 3 bench: sequential execution time of each benchmark in each
+//! programming model (the paper's Figure 3 bar chart).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use triolet::prelude::*;
+use triolet_apps::{cutcp, mriq, sgemm, tpacf};
+use triolet_baselines::EdenRt;
+use triolet_bench::apps::{workloads, BenchSet};
+use triolet_bench::Scale;
+
+fn quick() -> BenchSet {
+    workloads(Scale::Quick)
+}
+
+fn bench_app(
+    c: &mut Criterion,
+    name: &str,
+    mut seq: impl FnMut() + 'static,
+    mut triolet: impl FnMut() + 'static,
+    mut eden: impl FnMut() + 'static,
+) {
+    let mut g = c.benchmark_group(format!("fig3_{name}"));
+    g.sample_size(10);
+    g.bench_function("seq_c", |b| b.iter(&mut seq));
+    g.bench_function("triolet", |b| b.iter(&mut triolet));
+    g.bench_function("eden", |b| b.iter(&mut eden));
+    g.finish();
+}
+
+fn fig3(c: &mut Criterion) {
+    // mri-q
+    {
+        let set = quick();
+        let i1 = set.mriq.clone();
+        let i2 = set.mriq.clone();
+        let i3 = set.mriq.clone();
+        bench_app(
+            c,
+            "mriq",
+            move || {
+                black_box(mriq::run_seq(&i1));
+            },
+            move || {
+                let rt = Triolet::sequential();
+                black_box(mriq::run_triolet(&rt, &i2).0);
+            },
+            move || {
+                let rt = EdenRt::new(1, 1);
+                black_box(mriq::run_eden(&rt, &i3).unwrap().0);
+            },
+        );
+    }
+    // sgemm
+    {
+        let set = quick();
+        let i1 = set.sgemm.clone();
+        let i2 = set.sgemm.clone();
+        let i3 = set.sgemm.clone();
+        bench_app(
+            c,
+            "sgemm",
+            move || {
+                black_box(sgemm::run_seq(&i1));
+            },
+            move || {
+                let rt = Triolet::sequential();
+                black_box(sgemm::run_triolet(&rt, &i2).0);
+            },
+            move || {
+                let rt = EdenRt::new(1, 1);
+                black_box(sgemm::run_eden(&rt, &i3).unwrap().0);
+            },
+        );
+    }
+    // tpacf
+    {
+        let set = quick();
+        let i1 = set.tpacf.clone();
+        let i2 = set.tpacf.clone();
+        let i3 = set.tpacf.clone();
+        bench_app(
+            c,
+            "tpacf",
+            move || {
+                black_box(tpacf::run_seq(&i1));
+            },
+            move || {
+                let rt = Triolet::sequential();
+                black_box(tpacf::run_triolet(&rt, &i2).0);
+            },
+            move || {
+                let rt = EdenRt::new(1, 1);
+                black_box(tpacf::run_eden(&rt, &i3).unwrap().0);
+            },
+        );
+    }
+    // cutcp
+    {
+        let set = quick();
+        let i1 = set.cutcp.clone();
+        let i2 = set.cutcp.clone();
+        let i3 = set.cutcp.clone();
+        bench_app(
+            c,
+            "cutcp",
+            move || {
+                black_box(cutcp::run_seq(&i1));
+            },
+            move || {
+                let rt = Triolet::sequential();
+                black_box(cutcp::run_triolet(&rt, &i2).0);
+            },
+            move || {
+                let rt = EdenRt::new(1, 1);
+                black_box(cutcp::run_eden(&rt, &i3).unwrap().0);
+            },
+        );
+    }
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

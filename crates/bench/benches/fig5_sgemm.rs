@@ -1,0 +1,49 @@
+//! Figure 5 (sgemm) bench: the three implementations at increasing cluster sizes
+//! (virtual-time execution), quick scale. The `repro` binary produces the
+//! full paper-shaped series; this Criterion bench tracks regressions on
+//! three representative points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use triolet::prelude::*;
+use triolet_apps::sgemm as app;
+use triolet_baselines::{EdenRt, LowLevelRt};
+use triolet_bench::apps::{workloads};
+use triolet_bench::Scale;
+
+const SHAPES: &[(usize, usize)] = &[(1, 16), (4, 16), (8, 16)];
+
+fn sweep(c: &mut Criterion) {
+    let input = workloads(Scale::Quick).sgemm;
+    let mut g = c.benchmark_group("fig5_sgemm");
+    g.sample_size(10);
+    for &(nodes, tpn) in SHAPES {
+        let cores = nodes * tpn;
+        g.bench_with_input(BenchmarkId::new("triolet", cores), &(nodes, tpn), |b, &(n, t)| {
+            let input = input.clone();
+            b.iter(|| {
+                let rt = Triolet::new(ClusterConfig::virtual_cluster(n, t));
+                black_box(app::run_triolet(&rt, &input).1.total_s)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lowlevel", cores), &(nodes, tpn), |b, &(n, t)| {
+            let input = input.clone();
+            b.iter(|| {
+                let rt = LowLevelRt::new(ClusterConfig::virtual_cluster(n, t));
+                black_box(app::run_lowlevel(&rt, &input).1.total_s)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("eden", cores), &(nodes, tpn), |b, &(n, t)| {
+            let input = input.clone();
+            b.iter(|| {
+                let rt = EdenRt::new(n, t);
+                black_box(app::run_eden(&rt, &input).map(|(_, s)| s.total_s).ok())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sweep);
+criterion_main!(benches);

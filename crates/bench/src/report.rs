@@ -1,0 +1,68 @@
+//! Markdown-ish table and series printing for the `repro` binary.
+
+use crate::sweep::SweepRow;
+
+/// A labelled scaling series for one figure.
+pub struct Series<'a> {
+    /// Figure title (e.g. "Figure 4: mri-q").
+    pub title: &'a str,
+    /// Sequential reference time in seconds.
+    pub seq_s: f64,
+    /// One row per core count.
+    pub rows: &'a [SweepRow],
+}
+
+/// Print a figure's speedup series as a markdown table: the regenerated
+/// equivalent of the paper's speedup-vs-cores plots.
+pub fn print_series(s: &Series<'_>) {
+    println!("\n### {}", s.title);
+    println!("sequential reference (overall): {:.3} s", s.seq_s);
+    println!("| cores | linear | C+MPI+OpenMP | Triolet | Eden | Triolet/low-level |");
+    println!("|---:|---:|---:|---:|---:|---:|");
+    for row in s.rows {
+        let (ll, tr, ed) = row.speedups();
+        let eden = match ed {
+            Some(e) => format!("{e:.1}"),
+            None => "FAIL".to_string(),
+        };
+        println!(
+            "| {} | {} | {:.1} | {:.1} | {} | {:.0}% |",
+            row.cores,
+            row.cores,
+            ll,
+            tr,
+            eden,
+            100.0 * tr / ll
+        );
+    }
+}
+
+/// Print a generic table: header row plus string rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}");
+    println!("| {} |", header.join(" | "));
+    println!("|{}", "---|".repeat(header.len()));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_prints_without_panicking() {
+        let rows = vec![SweepRow {
+            cores: 16,
+            nodes: 1,
+            threads: 16,
+            seq_s: 1.0,
+            lowlevel_s: 0.1,
+            triolet_s: 0.125,
+            eden_s: Some(0.4),
+        }];
+        print_series(&Series { title: "test", seq_s: 1.0, rows: &rows });
+        print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+    }
+}

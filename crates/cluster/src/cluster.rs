@@ -1,0 +1,498 @@
+//! The cluster itself: scatter work to nodes, gather results, account time.
+
+use std::time::Instant;
+
+use triolet_pool::ThreadPool;
+use triolet_serial::{packed, unpack_all, Wire};
+
+use crate::cost::{CostModel, DistTiming, TrafficStats};
+use crate::node::{ExecMode, NodeCtx};
+
+/// Cluster shape and cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of nodes (MPI ranks).
+    pub nodes: usize,
+    /// Worker threads per node (the paper's 16 cores/node).
+    pub threads_per_node: usize,
+    /// Real-thread or virtual-time execution.
+    pub mode: ExecMode,
+    /// Inter-node transfer cost model.
+    pub cost: CostModel,
+}
+
+impl ClusterConfig {
+    /// Virtual-time cluster with the default (paper-like) network model.
+    pub fn virtual_cluster(nodes: usize, threads_per_node: usize) -> Self {
+        ClusterConfig {
+            nodes: nodes.max(1),
+            threads_per_node: threads_per_node.max(1),
+            mode: ExecMode::Virtual,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Real-thread cluster (for correctness tests on small shapes).
+    pub fn measured(nodes: usize, threads_per_node: usize) -> Self {
+        ClusterConfig {
+            nodes: nodes.max(1),
+            threads_per_node: threads_per_node.max(1),
+            mode: ExecMode::Measured,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Replace the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.threads_per_node
+    }
+}
+
+/// Results of one distributed operation, with its timing breakdown.
+#[derive(Debug)]
+pub struct DistOutcome<R> {
+    /// One result per participating node, in node order.
+    pub results: Vec<R>,
+    /// Timing and traffic breakdown.
+    pub timing: DistTiming,
+}
+
+/// One node's share of a distributed operation, in prepared form: the
+/// payload size it would occupy on the wire plus the work to run on the node.
+pub struct RawTask<'a, R> {
+    /// Bytes the node's input payload occupies when serialized.
+    pub wire_bytes: usize,
+    /// The node task; must route compute through the [`NodeCtx`].
+    pub work: Box<dyn FnOnce(&NodeCtx<'_>) -> R + Send + 'a>,
+}
+
+/// A simulated cluster of multicore nodes.
+///
+/// `run` is the core collective: it ships one serialized payload to each
+/// participating node, executes the task there (two-level: the task uses the
+/// node's [`NodeCtx`] for thread parallelism), and gathers serialized
+/// results back to the root — the fork-join pattern Triolet's distributed
+/// skeletons compile to.
+pub struct Cluster {
+    config: ClusterConfig,
+    pools: Vec<ThreadPool>,
+    stats: TrafficStats,
+}
+
+impl Cluster {
+    /// Bring up a cluster. `Measured` mode spawns `nodes * threads_per_node`
+    /// real worker threads; `Virtual` mode spawns none.
+    pub fn new(config: ClusterConfig) -> Self {
+        let pools = match config.mode {
+            ExecMode::Measured => {
+                (0..config.nodes).map(|_| ThreadPool::new(config.threads_per_node)).collect()
+            }
+            ExecMode::Virtual => Vec::new(),
+        };
+        Cluster { config, pools, stats: TrafficStats::new() }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    /// Threads per node.
+    pub fn threads_per_node(&self) -> usize {
+        self.config.threads_per_node
+    }
+
+    /// Cumulative traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Scatter `payloads` (one per node, at most `nodes()`), run `task` on
+    /// each node, gather the results.
+    ///
+    /// Every payload genuinely crosses the node boundary as bytes: it is
+    /// packed at the root, unpacked on the node, and the result travels back
+    /// the same way. Transfer times come from the [`CostModel`] applied to
+    /// the real byte counts.
+    pub fn run<T, R, F>(&self, payloads: Vec<T>, task: F) -> DistOutcome<R>
+    where
+        T: Wire + Send,
+        R: Wire + Send,
+        F: Fn(&NodeCtx<'_>, T) -> R + Send + Sync,
+    {
+        assert!(
+            payloads.len() <= self.config.nodes,
+            "more payloads ({}) than nodes ({})",
+            payloads.len(),
+            self.config.nodes
+        );
+        match self.config.mode {
+            ExecMode::Virtual => self.run_virtual(payloads, task),
+            ExecMode::Measured => self.run_measured(payloads, task),
+        }
+    }
+
+    /// Run the same (cloned) payload on every node: the broadcast pattern.
+    pub fn run_broadcast<T, R, F>(&self, payload: T, task: F) -> DistOutcome<R>
+    where
+        T: Wire + Send + Clone,
+        R: Wire + Send,
+        F: Fn(&NodeCtx<'_>, T) -> R + Send + Sync,
+    {
+        let payloads = vec![payload; self.config.nodes];
+        self.run(payloads, task)
+    }
+
+    /// Lowest-level collective: run one prepared task per node.
+    ///
+    /// Used by the skeleton engine, whose payloads are sliced indexers: the
+    /// closure carries the (already serialization-roundtripped) data
+    /// natively — code plus deserialized bytes, exactly what arrives at a
+    /// real node — while `wire_bytes` declares the payload size for the cost
+    /// model and traffic accounting. Each task must route its compute
+    /// through the provided [`NodeCtx`] so virtual time observes it.
+    pub fn run_raw<'a, R>(&self, tasks: Vec<RawTask<'a, R>>) -> DistOutcome<R>
+    where
+        R: Wire + Send,
+    {
+        assert!(
+            tasks.len() <= self.config.nodes,
+            "more tasks ({}) than nodes ({})",
+            tasks.len(),
+            self.config.nodes
+        );
+        match self.config.mode {
+            ExecMode::Virtual => {
+                let cost = self.config.cost;
+                let mut clock = 0.0f64;
+                let mut comm_s = 0.0f64;
+                let mut bytes_out = 0u64;
+                let mut send_done = Vec::with_capacity(tasks.len());
+                for t in &tasks {
+                    self.stats.record(t.wire_bytes);
+                    let dt = cost.transfer_time(t.wire_bytes);
+                    clock += dt;
+                    comm_s += dt;
+                    bytes_out += t.wire_bytes as u64;
+                    send_done.push(clock);
+                }
+                let mut results_bytes = Vec::with_capacity(tasks.len());
+                let mut node_compute = Vec::with_capacity(tasks.len());
+                for (rank, t) in tasks.into_iter().enumerate() {
+                    let ctx =
+                        NodeCtx::new(rank, self.config.threads_per_node, ExecMode::Virtual, None);
+                    let result = (t.work)(&ctx);
+                    let rb = ctx.sequential(|| packed(&result));
+                    node_compute.push(ctx.elapsed());
+                    results_bytes.push(rb);
+                }
+                let mut finish = 0.0f64;
+                let mut bytes_back = 0u64;
+                for ((done, compute), rb) in
+                    send_done.iter().zip(&node_compute).zip(&results_bytes)
+                {
+                    self.stats.record(rb.len());
+                    let dt = cost.transfer_time(rb.len());
+                    comm_s += dt;
+                    bytes_back += rb.len() as u64;
+                    finish = finish.max(done + compute + dt);
+                }
+                let t1 = Instant::now();
+                let results: Vec<R> = results_bytes
+                    .into_iter()
+                    .map(|rb| unpack_all(rb).expect("result roundtrip"))
+                    .collect();
+                let root_unpack_s = t1.elapsed().as_secs_f64();
+                let messages = 2 * node_compute.len() as u64;
+                DistOutcome {
+                    results,
+                    timing: DistTiming {
+                        total_s: finish + root_unpack_s,
+                        comm_s,
+                        node_compute_s: node_compute,
+                        bytes_out,
+                        bytes_back,
+                        messages,
+                    },
+                }
+            }
+            ExecMode::Measured => {
+                let t_start = Instant::now();
+                let n = tasks.len();
+                let mut bytes_out = 0u64;
+                for t in &tasks {
+                    self.stats.record(t.wire_bytes);
+                    bytes_out += t.wire_bytes as u64;
+                }
+                let pools = &self.pools;
+                let tpn = self.config.threads_per_node;
+                let mut slots: Vec<Option<(bytes::Bytes, f64)>> = (0..n).map(|_| None).collect();
+                std::thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for (rank, t) in tasks.into_iter().enumerate() {
+                        let pool = &pools[rank];
+                        handles.push(s.spawn(move || {
+                            let ctx = NodeCtx::new(rank, tpn, ExecMode::Measured, Some(pool));
+                            let result = (t.work)(&ctx);
+                            let rb = ctx.sequential(|| packed(&result));
+                            (rb, ctx.elapsed())
+                        }));
+                    }
+                    for (rank, h) in handles.into_iter().enumerate() {
+                        slots[rank] = Some(h.join().expect("node task must not panic"));
+                    }
+                });
+                let mut results = Vec::with_capacity(n);
+                let mut node_compute = Vec::with_capacity(n);
+                let mut bytes_back = 0u64;
+                for slot in slots {
+                    let (rb, secs) = slot.expect("every node produced a result");
+                    self.stats.record(rb.len());
+                    bytes_back += rb.len() as u64;
+                    node_compute.push(secs);
+                    results.push(unpack_all(rb).expect("result roundtrip"));
+                }
+                DistOutcome {
+                    results,
+                    timing: DistTiming {
+                        total_s: t_start.elapsed().as_secs_f64(),
+                        comm_s: 0.0,
+                        node_compute_s: node_compute,
+                        bytes_out,
+                        bytes_back,
+                        messages: 2 * n as u64,
+                    },
+                }
+            }
+        }
+    }
+
+    fn run_virtual<T, R, F>(&self, payloads: Vec<T>, task: F) -> DistOutcome<R>
+    where
+        T: Wire + Send,
+        R: Wire + Send,
+        F: Fn(&NodeCtx<'_>, T) -> R + Send + Sync,
+    {
+        let cost = self.config.cost;
+        // Root packs every outgoing message (the paper observed message
+        // construction itself becoming a bottleneck for sgemm — we charge
+        // it).
+        let t0 = Instant::now();
+        let out_msgs: Vec<bytes::Bytes> = payloads.iter().map(packed).collect();
+        let root_pack_s = t0.elapsed().as_secs_f64();
+        drop(payloads);
+
+        // Root sends sequentially; node i's payload lands after all earlier
+        // sends complete (single NIC at the root).
+        let mut send_done = Vec::with_capacity(out_msgs.len());
+        let mut clock = root_pack_s;
+        let mut comm_s = 0.0;
+        for m in &out_msgs {
+            self.stats.record(m.len());
+            let dt = cost.transfer_time(m.len());
+            clock += dt;
+            comm_s += dt;
+            send_done.push(clock);
+        }
+        let bytes_out: u64 = out_msgs.iter().map(|m| m.len() as u64).sum();
+
+        // Nodes execute one at a time (they share nothing); each is timed.
+        let mut results_bytes = Vec::with_capacity(out_msgs.len());
+        let mut node_compute = Vec::with_capacity(out_msgs.len());
+        for (rank, msg) in out_msgs.into_iter().enumerate() {
+            let ctx = NodeCtx::new(rank, self.config.threads_per_node, ExecMode::Virtual, None);
+            // Deserialization happens on the node: charge it.
+            let payload: T = ctx.sequential(|| unpack_all(msg).expect("payload roundtrip"));
+            let result = task(&ctx, payload);
+            let rbytes = ctx.sequential(|| packed(&result));
+            node_compute.push(ctx.elapsed());
+            results_bytes.push(rbytes);
+        }
+
+        // Results stream back; each node's arrival is its finish plus its
+        // own transfer; the root then unpacks.
+        let mut finish = 0.0f64;
+        let mut bytes_back = 0u64;
+        for ((done, compute), rb) in send_done.iter().zip(&node_compute).zip(&results_bytes) {
+            self.stats.record(rb.len());
+            let dt = cost.transfer_time(rb.len());
+            comm_s += dt;
+            bytes_back += rb.len() as u64;
+            finish = finish.max(done + compute + dt);
+        }
+        let t1 = Instant::now();
+        let results: Vec<R> = results_bytes
+            .into_iter()
+            .map(|rb| unpack_all(rb).expect("result roundtrip"))
+            .collect();
+        let root_unpack_s = t1.elapsed().as_secs_f64();
+
+        let messages = 2 * node_compute.len() as u64;
+        DistOutcome {
+            results,
+            timing: DistTiming {
+                total_s: finish + root_unpack_s,
+                comm_s,
+                node_compute_s: node_compute,
+                bytes_out,
+                bytes_back,
+                messages,
+            },
+        }
+    }
+
+    fn run_measured<T, R, F>(&self, payloads: Vec<T>, task: F) -> DistOutcome<R>
+    where
+        T: Wire + Send,
+        R: Wire + Send,
+        F: Fn(&NodeCtx<'_>, T) -> R + Send + Sync,
+    {
+        let t_start = Instant::now();
+        let out_msgs: Vec<bytes::Bytes> = payloads.iter().map(packed).collect();
+        let bytes_out: u64 = out_msgs.iter().map(|m| m.len() as u64).sum();
+        for m in &out_msgs {
+            self.stats.record(m.len());
+        }
+        let n = out_msgs.len();
+        let task = &task;
+        let pools = &self.pools;
+        let tpn = self.config.threads_per_node;
+        let mut slots: Vec<Option<(bytes::Bytes, f64)>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (rank, msg) in out_msgs.into_iter().enumerate() {
+                let pool = &pools[rank];
+                handles.push(s.spawn(move || {
+                    let ctx = NodeCtx::new(rank, tpn, ExecMode::Measured, Some(pool));
+                    let payload: T =
+                        ctx.sequential(|| unpack_all(msg).expect("payload roundtrip"));
+                    let result = task(&ctx, payload);
+                    let rbytes = ctx.sequential(|| packed(&result));
+                    (rbytes, ctx.elapsed())
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                slots[rank] = Some(h.join().expect("node task must not panic"));
+            }
+        });
+        let mut results = Vec::with_capacity(n);
+        let mut node_compute = Vec::with_capacity(n);
+        let mut bytes_back = 0u64;
+        for slot in slots {
+            let (rb, secs) = slot.expect("every node produced a result");
+            self.stats.record(rb.len());
+            bytes_back += rb.len() as u64;
+            node_compute.push(secs);
+            results.push(unpack_all(rb).expect("result roundtrip"));
+        }
+        DistOutcome {
+            results,
+            timing: DistTiming {
+                total_s: t_start.elapsed().as_secs_f64(),
+                comm_s: 0.0, // real transfers are in-process; wall time covers them
+                node_compute_s: node_compute,
+                bytes_out,
+                bytes_back,
+                messages: 2 * n as u64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_run_scatters_and_gathers() {
+        let cluster = Cluster::new(ClusterConfig::virtual_cluster(4, 2));
+        let payloads: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64; 10]).collect();
+        let out = cluster.run(payloads, |ctx, v: Vec<u64>| {
+            assert_eq!(v.len(), 10);
+            v.iter().sum::<u64>() + ctx.rank() as u64 * 1000
+        });
+        assert_eq!(out.results, vec![0, 1010, 2020, 3030]);
+        assert_eq!(out.timing.messages, 8);
+        assert!(out.timing.bytes_out > 0);
+        assert_eq!(cluster.stats().messages(), 8);
+    }
+
+    #[test]
+    fn measured_run_matches_virtual_results() {
+        let payloads: Vec<Vec<u64>> = (0..3).map(|i| (0..=i as u64).collect()).collect();
+        let task = |_ctx: &NodeCtx<'_>, v: Vec<u64>| v.iter().sum::<u64>();
+        let v = Cluster::new(ClusterConfig::virtual_cluster(3, 2)).run(payloads.clone(), task);
+        let m = Cluster::new(ClusterConfig::measured(3, 2)).run(payloads, task);
+        assert_eq!(v.results, m.results);
+        assert_eq!(v.timing.bytes_out, m.timing.bytes_out);
+    }
+
+    #[test]
+    fn broadcast_clones_payload_per_node() {
+        let cluster = Cluster::new(ClusterConfig::virtual_cluster(3, 1));
+        let out = cluster.run_broadcast(vec![1u32, 2, 3], |ctx, v: Vec<u32>| {
+            v[ctx.rank() % 3] as u64
+        });
+        assert_eq!(out.results, vec![1, 2, 3]);
+        // Broadcast ships the payload once per node.
+        let one = (vec![1u32, 2, 3]).packed_size() as u64;
+        assert_eq!(out.timing.bytes_out, 3 * one);
+    }
+
+    #[test]
+    fn fewer_payloads_than_nodes_is_fine() {
+        let cluster = Cluster::new(ClusterConfig::virtual_cluster(8, 2));
+        let out = cluster.run(vec![1u64, 2], |_ctx, x: u64| x * 2);
+        assert_eq!(out.results, vec![2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more payloads")]
+    fn too_many_payloads_panics() {
+        let cluster = Cluster::new(ClusterConfig::virtual_cluster(2, 1));
+        let _ = cluster.run(vec![1u64, 2, 3], |_ctx, x: u64| x);
+    }
+
+    #[test]
+    fn comm_cost_scales_with_bytes() {
+        let cfg = ClusterConfig::virtual_cluster(2, 1)
+            .with_cost(CostModel { latency_s: 0.0, bandwidth_bps: 1e6 });
+        let cluster = Cluster::new(cfg);
+        let big = vec![0u8; 1_000_000];
+        let small = vec![0u8; 10];
+        let t_big = cluster.run(vec![big], |_c, v: Vec<u8>| v.len() as u64).timing.comm_s;
+        let t_small = cluster.run(vec![small], |_c, v: Vec<u8>| v.len() as u64).timing.comm_s;
+        assert!(t_big > 50.0 * t_small, "1MB at 1MB/s must dominate: {t_big} vs {t_small}");
+    }
+
+    #[test]
+    fn free_cost_model_zero_comm() {
+        let cfg = ClusterConfig::virtual_cluster(2, 1).with_cost(CostModel::free());
+        let out = Cluster::new(cfg).run(vec![vec![0u8; 1000], vec![0u8; 1000]], |_c, v: Vec<u8>| {
+            v.len() as u64
+        });
+        assert_eq!(out.timing.comm_s, 0.0);
+    }
+
+    #[test]
+    fn node_ctx_time_feeds_timing() {
+        let cluster = Cluster::new(ClusterConfig::virtual_cluster(2, 4));
+        let out = cluster.run(vec![5u64, 6], |ctx, x: u64| {
+            ctx.sequential(|| std::thread::sleep(std::time::Duration::from_millis(3)));
+            x
+        });
+        assert!(out.timing.node_compute_s.iter().all(|&t| t >= 0.003));
+        assert!(out.timing.total_s >= 0.003);
+    }
+}

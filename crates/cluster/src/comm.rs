@@ -1,0 +1,329 @@
+//! Rank-to-rank typed messaging: the MPI-primitive analogue.
+//!
+//! The paper's runtime wraps MPI point-to-point and collective operations;
+//! this module provides the same vocabulary over in-process channels. Every
+//! payload is serialized with [`Wire`] before it enters a channel and
+//! deserialized after — the bytes genuinely exist — and all traffic is
+//! recorded in a shared [`TrafficStats`].
+//!
+//! A `Comm` may carry a `max_msg_bytes` limit, modeling runtimes whose
+//! message-passing layer cannot buffer arbitrarily large messages (the
+//! paper's Eden comparison "fails at 2 nodes because the array data is too
+//! large for Eden's message-passing runtime to buffer", §4.3).
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use triolet_serial::{packed, unpack_all, Wire};
+
+use crate::cost::TrafficStats;
+
+/// Errors surfaced by the message layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The payload exceeded the configured buffer limit.
+    MessageTooLarge { bytes: usize, limit: usize },
+    /// The peer hung up (rank dropped its handle).
+    Disconnected,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::MessageTooLarge { bytes, limit } => {
+                write!(f, "message of {bytes} bytes exceeds buffer limit of {limit}")
+            }
+            CommError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+struct Msg {
+    from: usize,
+    tag: u32,
+    payload: Bytes,
+}
+
+/// Factory for a communicator of `n` ranks.
+pub struct Comm;
+
+impl Comm {
+    /// Create handles for `n` ranks with unlimited message size.
+    pub fn create(n: usize) -> Vec<CommHandle> {
+        Self::create_with(n, None, Arc::new(TrafficStats::new()))
+    }
+
+    /// Create handles with an optional per-message byte limit and shared
+    /// traffic counters.
+    pub fn create_with(
+        n: usize,
+        max_msg_bytes: Option<usize>,
+        stats: Arc<TrafficStats>,
+    ) -> Vec<CommHandle> {
+        let n = n.max(1);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, r) = unbounded::<Msg>();
+            senders.push(s);
+            receivers.push(r);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| CommHandle {
+                rank,
+                n,
+                senders: senders.clone(),
+                rx,
+                pending: Vec::new(),
+                max_msg_bytes,
+                stats: Arc::clone(&stats),
+            })
+            .collect()
+    }
+}
+
+/// One rank's endpoint: move it to the rank's thread.
+pub struct CommHandle {
+    rank: usize,
+    n: usize,
+    senders: Vec<Sender<Msg>>,
+    rx: Receiver<Msg>,
+    pending: Vec<Msg>,
+    max_msg_bytes: Option<usize>,
+    stats: Arc<TrafficStats>,
+}
+
+impl CommHandle {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Send `value` to `to` under `tag`.
+    pub fn send<T: Wire>(&self, to: usize, tag: u32, value: &T) -> Result<(), CommError> {
+        let payload = packed(value);
+        if let Some(limit) = self.max_msg_bytes {
+            if payload.len() > limit {
+                return Err(CommError::MessageTooLarge { bytes: payload.len(), limit });
+            }
+        }
+        self.stats.record(payload.len());
+        self.senders[to]
+            .send(Msg { from: self.rank, tag, payload })
+            .map_err(|_| CommError::Disconnected)
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`;
+    /// out-of-order messages are buffered.
+    pub fn recv<T: Wire>(&mut self, from: usize, tag: u32) -> Result<T, CommError> {
+        if let Some(pos) =
+            self.pending.iter().position(|m| m.from == from && m.tag == tag)
+        {
+            let msg = self.pending.remove(pos);
+            return Ok(unpack_all(msg.payload).expect("sender packed a valid T"));
+        }
+        loop {
+            let msg = self.rx.recv().map_err(|_| CommError::Disconnected)?;
+            if msg.from == from && msg.tag == tag {
+                return Ok(unpack_all(msg.payload).expect("sender packed a valid T"));
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// MPI-style broadcast: the root's value reaches every rank.
+    pub fn broadcast<T: Wire + Clone>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        tag: u32,
+    ) -> Result<T, CommError> {
+        if self.rank == root {
+            let v = value.expect("root must supply the broadcast value");
+            for r in 0..self.n {
+                if r != root {
+                    self.send(r, tag, &v)?;
+                }
+            }
+            Ok(v)
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// MPI-style scatter: the root sends element `i` to rank `i`.
+    pub fn scatter<T: Wire>(
+        &mut self,
+        root: usize,
+        parts: Option<Vec<T>>,
+        tag: u32,
+    ) -> Result<T, CommError> {
+        if self.rank == root {
+            let mut parts = parts.expect("root must supply the scatter parts");
+            assert_eq!(parts.len(), self.n, "scatter needs one part per rank");
+            // Send in reverse so we can pop; keep root's own part for last.
+            let mut own = None;
+            for r in (0..self.n).rev() {
+                let part = parts.pop().expect("one part per rank");
+                if r == root {
+                    own = Some(part);
+                } else {
+                    self.send(r, tag, &part)?;
+                }
+            }
+            Ok(own.expect("root part present"))
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// MPI-style gather: every rank's value arrives at the root in rank
+    /// order.
+    pub fn gather<T: Wire>(
+        &mut self,
+        root: usize,
+        value: T,
+        tag: u32,
+    ) -> Result<Option<Vec<T>>, CommError> {
+        if self.rank == root {
+            let mut out = Vec::with_capacity(self.n);
+            for r in 0..self.n {
+                if r == root {
+                    // Own contribution still pays serialization (MPI copies
+                    // through the buffer even for self-sends in naive use).
+                    let bytes = packed(&value);
+                    out.push(unpack_all(bytes).expect("self roundtrip"));
+                } else {
+                    out.push(self.recv(r, tag)?);
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send(root, tag, &value)?;
+            Ok(None)
+        }
+    }
+
+    /// All-reduce: combine every rank's value with `op`; all ranks receive
+    /// the result. Implemented gather-to-0 + fold + broadcast, like the
+    /// paper's two-level histogram reduction rooted at the main process.
+    pub fn all_reduce<T: Wire + Clone>(
+        &mut self,
+        value: T,
+        tag: u32,
+        op: impl Fn(T, T) -> T,
+    ) -> Result<T, CommError> {
+        let gathered = self.gather(0, value, tag)?;
+        let reduced = gathered.map(|vs| vs.into_iter().reduce(&op).expect("n >= 1 values"));
+        self.broadcast(0, reduced, tag + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ranks<R: Send>(
+        n: usize,
+        limit: Option<usize>,
+        f: impl Fn(CommHandle) -> R + Send + Sync,
+    ) -> Vec<R> {
+        let handles = Comm::create_with(n, limit, Arc::new(TrafficStats::new()));
+        let f = &f;
+        std::thread::scope(|s| {
+            let joins: Vec<_> = handles.into_iter().map(|h| s.spawn(move || f(h))).collect();
+            joins.into_iter().map(|j| j.join().expect("rank panicked")).collect()
+        })
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = run_ranks(2, None, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 7, &vec![1u32, 2, 3]).unwrap();
+                0u32
+            } else {
+                let v: Vec<u32> = h.recv(0, 7).unwrap();
+                v.iter().sum()
+            }
+        });
+        assert_eq!(out[1], 6);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = run_ranks(2, None, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 1, &10u64).unwrap();
+                h.send(1, 2, &20u64).unwrap();
+                0
+            } else {
+                // Receive tag 2 first even though tag 1 arrives first.
+                let b: u64 = h.recv(0, 2).unwrap();
+                let a: u64 = h.recv(0, 1).unwrap();
+                a * 100 + b
+            }
+        });
+        assert_eq!(out[1], 1020);
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let out = run_ranks(4, None, |mut h| {
+            let v = if h.rank() == 2 { Some(99u32) } else { None };
+            h.broadcast(2, v, 5).unwrap()
+        });
+        assert_eq!(out, vec![99; 4]);
+    }
+
+    #[test]
+    fn scatter_distributes_in_rank_order() {
+        let out = run_ranks(3, None, |mut h| {
+            let parts =
+                if h.rank() == 0 { Some(vec![10u64, 20, 30]) } else { None };
+            h.scatter(0, parts, 3).unwrap()
+        });
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_ranks(3, None, |mut h| {
+            h.gather(0, h.rank() as u64 * 11, 9).unwrap()
+        });
+        assert_eq!(out[0], Some(vec![0, 11, 22]));
+        assert_eq!(out[1], None);
+    }
+
+    #[test]
+    fn all_reduce_sums_everywhere() {
+        let out = run_ranks(4, None, |mut h| {
+            h.all_reduce(h.rank() as u64 + 1, 20, |a, b| a + b).unwrap()
+        });
+        assert_eq!(out, vec![10; 4]);
+    }
+
+    #[test]
+    fn message_limit_rejects_large_sends() {
+        let out = run_ranks(2, Some(64), |h| {
+            if h.rank() == 0 {
+                let big = vec![0u8; 1000];
+                matches!(h.send(1, 1, &big), Err(CommError::MessageTooLarge { .. }))
+            } else {
+                true
+            }
+        });
+        assert!(out[0]);
+    }
+}

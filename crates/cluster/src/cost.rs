@@ -1,0 +1,145 @@
+//! Communication cost model and traffic accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear latency/bandwidth model for inter-node transfers.
+///
+/// Transfer time of an `n`-byte message is `latency_s + n / bandwidth_bps`.
+/// The constants are printed beside every reproduced figure so results are
+/// interpretable; the defaults approximate the 10 GbE interconnect of the
+/// paper's EC2 cluster-compute instances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-message cost in seconds (software + wire latency).
+    pub latency_s: f64,
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl CostModel {
+    /// Approximation of the paper's testbed: 10 GbE, ~40 us end-to-end
+    /// message latency (EC2 cluster placement group, MPI software stack).
+    pub fn ec2_10gbe() -> Self {
+        CostModel { latency_s: 40e-6, bandwidth_bps: 1.25e9 }
+    }
+
+    /// A zero-cost network: isolates compute scaling from communication.
+    pub fn free() -> Self {
+        CostModel { latency_s: 0.0, bandwidth_bps: f64::INFINITY }
+    }
+
+    /// Seconds to move one `bytes`-sized message.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::ec2_10gbe()
+    }
+}
+
+/// Cumulative message/byte counters for a cluster (thread-safe).
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message of `bytes` payload.
+    pub fn record(&self, bytes: usize) {
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Messages recorded so far.
+    pub fn messages(&self) -> u64 {
+        self.msgs.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes recorded so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counters (between experiments).
+    pub fn reset(&self) {
+        self.msgs.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Timing breakdown of one distributed operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistTiming {
+    /// End-to-end time in seconds: wall-clock in `Measured` mode, modeled
+    /// makespan in `Virtual` mode.
+    pub total_s: f64,
+    /// Seconds attributed to communication (modeled from byte counts).
+    pub comm_s: f64,
+    /// Per-node compute seconds (the max of these bounds the compute span).
+    pub node_compute_s: Vec<f64>,
+    /// Bytes shipped root -> nodes (sliced input data).
+    pub bytes_out: u64,
+    /// Bytes shipped nodes -> root (results).
+    pub bytes_back: u64,
+    /// Total messages in both directions.
+    pub messages: u64,
+}
+
+impl DistTiming {
+    /// Compute-only span: the slowest node.
+    pub fn compute_span_s(&self) -> f64 {
+        self.node_compute_s.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_affine() {
+        let m = CostModel { latency_s: 1e-3, bandwidth_bps: 1e6 };
+        assert!((m.transfer_time(0) - 1e-3).abs() < 1e-12);
+        assert!((m.transfer_time(1_000_000) - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.transfer_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let s = TrafficStats::new();
+        s.record(100);
+        s.record(50);
+        assert_eq!(s.messages(), 2);
+        assert_eq!(s.bytes(), 150);
+        s.reset();
+        assert_eq!(s.messages(), 0);
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn compute_span_is_max() {
+        let t = DistTiming {
+            total_s: 1.0,
+            comm_s: 0.1,
+            node_compute_s: vec![0.2, 0.9, 0.5],
+            bytes_out: 0,
+            bytes_back: 0,
+            messages: 0,
+        };
+        assert_eq!(t.compute_span_s(), 0.9);
+    }
+}

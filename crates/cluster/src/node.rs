@@ -1,0 +1,284 @@
+//! Per-node execution context: where two-level parallelism meets the clock.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use triolet_pool::parallel::map_parts_ordered;
+use triolet_pool::vtime::{greedy_schedule, tasks_by_worker};
+use triolet_pool::ThreadPool;
+
+/// How node tasks execute and how their time is accounted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Real threads, wall-clock timing.
+    Measured,
+    /// Sequential execution, virtual-time modeling of `threads` workers.
+    Virtual,
+}
+
+/// The context a node task receives: its rank, its (real or modeled) thread
+/// count, and a virtual clock.
+///
+/// All compute inside a node task must go through the context's helpers
+/// ([`NodeCtx::map_chunks`], [`NodeCtx::map_reduce_chunks`],
+/// [`NodeCtx::sequential`]) so the virtual clock observes it. In `Measured`
+/// mode the helpers run on the node's real pool and charge wall time; in
+/// `Virtual` mode they run sequentially, time every leaf, and charge the
+/// greedy-schedule makespan for the configured thread count — the
+/// deterministic replay of a work-stealing execution.
+pub struct NodeCtx<'a> {
+    rank: usize,
+    threads: usize,
+    mode: ExecMode,
+    pool: Option<&'a ThreadPool>,
+    vclock: Cell<f64>,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Build a context (the cluster does this; tests may too).
+    pub fn new(rank: usize, threads: usize, mode: ExecMode, pool: Option<&'a ThreadPool>) -> Self {
+        assert!(
+            mode == ExecMode::Virtual || pool.is_some(),
+            "Measured mode requires a real thread pool"
+        );
+        NodeCtx { rank, threads: threads.max(1), mode, pool, vclock: Cell::new(0.0) }
+    }
+
+    /// This node's rank in the cluster.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Worker threads this node models (or really has).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Seconds of node time charged so far.
+    pub fn elapsed(&self) -> f64 {
+        self.vclock.get()
+    }
+
+    fn charge(&self, seconds: f64) {
+        self.vclock.set(self.vclock.get() + seconds);
+    }
+
+    /// Charge modeled (not measured) seconds to this node — used by
+    /// baseline runtimes to account costs our substrate does not incur
+    /// physically, e.g. Eden's intra-node message copies.
+    pub fn charge_seconds(&self, seconds: f64) {
+        self.charge(seconds.max(0.0));
+    }
+
+    /// Run a sequential section (runs on one thread; charged at full cost).
+    pub fn sequential<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.charge(t0.elapsed().as_secs_f64());
+        r
+    }
+
+    /// Map `leaf` over explicit chunks in parallel, preserving order.
+    ///
+    /// The chunk list is the thread-level work decomposition (the paper's
+    /// second level, §3.4); pass ~4 chunks per thread so stealing can balance
+    /// irregular chunk costs.
+    pub fn map_chunks<P, T>(&self, chunks: Vec<P>, leaf: impl Fn(&P) -> T + Sync) -> Vec<T>
+    where
+        P: Send,
+        T: Send,
+    {
+        match self.mode {
+            ExecMode::Measured => {
+                let pool = self.pool.expect("Measured mode has a pool");
+                let t0 = Instant::now();
+                let out = map_parts_ordered(pool, chunks, &leaf);
+                self.charge(t0.elapsed().as_secs_f64());
+                out
+            }
+            ExecMode::Virtual => {
+                let mut durations = Vec::with_capacity(chunks.len());
+                let mut out = Vec::with_capacity(chunks.len());
+                for c in &chunks {
+                    let t0 = Instant::now();
+                    out.push(leaf(c));
+                    durations.push(t0.elapsed().as_secs_f64());
+                }
+                let sched = greedy_schedule(&durations, self.threads);
+                self.charge(sched.makespan);
+                out
+            }
+        }
+    }
+
+    /// Map chunks to private partial results and merge them: the paper's
+    /// per-thread private accumulation (each thread builds its own sum or
+    /// histogram) followed by a per-node merge.
+    ///
+    /// In `Virtual` mode the merge is replayed faithfully: chunks assigned to
+    /// the same virtual thread merge *within* that thread (charged to its
+    /// load), then one partial per thread merges sequentially on the node.
+    pub fn map_reduce_chunks<P, T>(
+        &self,
+        chunks: Vec<P>,
+        leaf: impl Fn(&P) -> T + Sync,
+        mut merge: impl FnMut(T, T) -> T,
+    ) -> Option<T>
+    where
+        P: Send,
+        T: Send,
+    {
+        if chunks.is_empty() {
+            return None;
+        }
+        match self.mode {
+            ExecMode::Measured => {
+                let pool = self.pool.expect("Measured mode has a pool");
+                let t0 = Instant::now();
+                let partials = map_parts_ordered(pool, chunks, &leaf);
+                let out = partials.into_iter().reduce(&mut merge);
+                self.charge(t0.elapsed().as_secs_f64());
+                out
+            }
+            ExecMode::Virtual => {
+                // Phase 1: run and time each chunk.
+                let mut durations = Vec::with_capacity(chunks.len());
+                let mut results: Vec<Option<T>> = Vec::with_capacity(chunks.len());
+                for c in &chunks {
+                    let t0 = Instant::now();
+                    let r = leaf(c);
+                    durations.push(t0.elapsed().as_secs_f64());
+                    results.push(Some(r));
+                }
+                // Phase 2: assign chunks to virtual threads; merge within
+                // each thread, charging the merge to that thread's load.
+                let sched = greedy_schedule(&durations, self.threads);
+                let groups = tasks_by_worker(&sched);
+                let mut worker_loads = sched.worker_loads.clone();
+                let mut thread_partials: Vec<T> = Vec::new();
+                for (w, group) in groups.iter().enumerate() {
+                    let mut acc: Option<T> = None;
+                    for &task in group {
+                        let value = results[task].take().expect("each task merged once");
+                        let t0 = Instant::now();
+                        acc = Some(match acc {
+                            None => value,
+                            Some(a) => merge(a, value),
+                        });
+                        worker_loads[w] += t0.elapsed().as_secs_f64();
+                    }
+                    if let Some(a) = acc {
+                        thread_partials.push(a);
+                    }
+                }
+                let thread_span = worker_loads.iter().cloned().fold(0.0, f64::max);
+                // Phase 3: one partial per virtual thread merges sequentially
+                // on the node (the per-node combining step).
+                let t0 = Instant::now();
+                let out = thread_partials.into_iter().reduce(&mut merge);
+                let merge_s = t0.elapsed().as_secs_f64();
+                self.charge(thread_span + merge_s);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triolet_domain::{Domain, Part, Seq, SeqPart};
+
+    fn vctx(threads: usize) -> NodeCtx<'static> {
+        NodeCtx::new(0, threads, ExecMode::Virtual, None)
+    }
+
+    #[test]
+    fn sequential_charges_time() {
+        let ctx = vctx(4);
+        let r = ctx.sequential(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(r, 42);
+        assert!(ctx.elapsed() >= 0.004);
+    }
+
+    #[test]
+    fn virtual_map_chunks_results_in_order() {
+        let ctx = vctx(4);
+        let chunks = Seq::new(100).split_parts(10);
+        let firsts = ctx.map_chunks(chunks.clone(), |p: &SeqPart| p.start);
+        assert_eq!(firsts, chunks.iter().map(|p| p.start).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn virtual_map_reduce_matches_sequential() {
+        let ctx = vctx(3);
+        let xs: Vec<u64> = (0..1000).collect();
+        let chunks = Seq::new(xs.len()).split_parts(12);
+        let total = ctx
+            .map_reduce_chunks(
+                chunks,
+                |p: &SeqPart| p.range().map(|i| xs[i]).sum::<u64>(),
+                |a, b| a + b,
+            )
+            .unwrap();
+        assert_eq!(total, xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn more_virtual_threads_less_charged_time() {
+        // Charge a deliberate per-chunk cost and check modeled scaling.
+        let busy = |_p: &SeqPart| {
+            let t0 = Instant::now();
+            let mut x = 0u64;
+            while t0.elapsed().as_secs_f64() < 0.002 {
+                x = x.wrapping_add(1);
+                std::hint::black_box(x);
+            }
+            x
+        };
+        let chunks = Seq::new(64).split_parts(16);
+        let ctx1 = vctx(1);
+        ctx1.map_chunks(chunks.clone(), busy);
+        let ctx8 = vctx(8);
+        ctx8.map_chunks(chunks, busy);
+        assert!(
+            ctx8.elapsed() < ctx1.elapsed() / 4.0,
+            "8 virtual threads must model at least 4x speedup over 1 ({} vs {})",
+            ctx8.elapsed(),
+            ctx1.elapsed()
+        );
+    }
+
+    #[test]
+    fn measured_mode_map_reduce() {
+        let pool = ThreadPool::new(2);
+        let ctx = NodeCtx::new(0, 2, ExecMode::Measured, Some(&pool));
+        let chunks = Seq::new(100).split_parts(8);
+        let total = ctx
+            .map_reduce_chunks(chunks, |p: &SeqPart| p.count() as u64, |a, b| a + b)
+            .unwrap();
+        assert_eq!(total, 100);
+        assert!(ctx.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn empty_chunk_list_is_none() {
+        let ctx = vctx(2);
+        let r = ctx.map_reduce_chunks(Vec::<SeqPart>::new(), |_| 1u32, |a, b| a + b);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "Measured mode requires")]
+    fn measured_without_pool_panics() {
+        let _ = NodeCtx::new(0, 2, ExecMode::Measured, None);
+    }
+}

@@ -1,0 +1,945 @@
+//! The [`Triolet`] runtime: hint-directed skeleton execution.
+//!
+//! "A skeleton in the library consists of code that, depending on the input
+//! iterator's parallelism hint, invokes low-level skeletons for distributing
+//! work across nodes, cores within a node, and/or sequential loop iterations
+//! in a task" (paper §2). This module is that dispatch layer:
+//!
+//! * `Sequential` — fold on the calling thread.
+//! * `LocalPar` — split across the local node's threads only; no data ships.
+//! * `Par` — split the outer domain across nodes (slicing each node's data,
+//!   §3.5), split each node's part across its threads, fold with per-thread
+//!   private accumulators, merge per node, merge node partials at the root
+//!   (§3.4's distributed → threaded → sequential reduction chain).
+
+use std::time::Instant;
+
+use triolet_cluster::{Cluster, ClusterConfig, NodeCtx, RawTask};
+use triolet_domain::{Dim2, Domain, Part, Seq, SeqPart};
+use triolet_iter::collector::Collector;
+use triolet_iter::shapes::ParHint;
+use triolet_iter::Array2;
+use triolet_pool::parallel::CHUNKS_PER_THREAD;
+use triolet_serial::Wire;
+
+use crate::dist::DistIter;
+use crate::report::RunStats;
+
+/// The Triolet runtime: a cluster plus the skeleton dispatch logic.
+///
+/// Construct one per program (like initializing MPI + the thread runtime)
+/// and call skeletons on it. Every skeleton returns `(result, RunStats)`.
+pub struct Triolet {
+    cluster: Cluster,
+}
+
+impl Triolet {
+    /// Bring up a runtime on the given cluster shape.
+    pub fn new(config: ClusterConfig) -> Self {
+        Triolet { cluster: Cluster::new(config) }
+    }
+
+    /// A degenerate single-node, single-thread runtime (for sequential
+    /// reference runs).
+    pub fn sequential() -> Self {
+        Self::new(ClusterConfig::virtual_cluster(1, 1))
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.cluster.nodes()
+    }
+
+    /// Threads per node.
+    pub fn threads_per_node(&self) -> usize {
+        self.cluster.threads_per_node()
+    }
+
+    /// Total cores (the x-axis of the paper's scaling figures).
+    pub fn total_cores(&self) -> usize {
+        self.nodes() * self.threads_per_node()
+    }
+
+    // ======================================================================
+    // The master skeleton
+    // ======================================================================
+
+    /// Parallel fold-reduce: the skeleton every consumer is built on.
+    ///
+    /// Each leaf task folds a chunk of the outer domain into a private `B`
+    /// started from `seed()`; partials merge pairwise with `merge` up the
+    /// thread → node → root hierarchy. `B` must be serializable (node
+    /// partials cross the network).
+    ///
+    /// `merge` must be associative and commutative: partials combine in
+    /// schedule order, not chunk order. For order-sensitive assembly use
+    /// [`Triolet::build_vec`] / [`Triolet::build_array2`], which preserve
+    /// element order at every level.
+    pub fn fold_reduce<It, B, Seed, Step, Merge>(
+        &self,
+        it: It,
+        seed: Seed,
+        step: Step,
+        merge: Merge,
+    ) -> (B, RunStats)
+    where
+        It: DistIter,
+        B: Wire + Send,
+        Seed: Fn() -> B + Send + Sync,
+        Step: Fn(B, It::Item) -> B + Send + Sync,
+        Merge: Fn(B, B) -> B + Send + Sync,
+    {
+        match it.hint() {
+            ParHint::Sequential => {
+                let t0 = Instant::now();
+                let dom = it.outer_domain();
+                let mut g = |b: B, x: It::Item| step(b, x);
+                let out = it.fold_outer_part(&dom.whole_part(), seed(), &mut g);
+                (out, RunStats::local(t0.elapsed().as_secs_f64()))
+            }
+            ParHint::LocalPar => {
+                let dom = it.outer_domain();
+                let chunks =
+                    dom.whole_part().split(self.threads_per_node() * CHUNKS_PER_THREAD);
+                let out = self.cluster.run_raw(vec![RawTask {
+                    wire_bytes: 0, // local execution: nothing ships
+                    work: Box::new(move |ctx: &NodeCtx<'_>| {
+                        ctx.map_reduce_chunks(
+                            chunks,
+                            |chunk| {
+                                let mut g = |b: B, x: It::Item| step(b, x);
+                                it.fold_outer_part(chunk, seed(), &mut g)
+                            },
+                            &merge,
+                        )
+                        .unwrap_or_else(&seed)
+                    }),
+                }]);
+                let mut results = out.results;
+                let value = results.pop().expect("one local task");
+                (value, RunStats::from_dist(out.timing, 0.0))
+            }
+            ParHint::Par => {
+                let dom = it.outer_domain();
+                let parts = dom.split_parts(self.nodes());
+                // Root side: slice each node's data (paper §3.5) — charged
+                // as root time, like the paper's message construction.
+                let t0 = Instant::now();
+                let tasks: Vec<RawTask<'_, B>> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let sub = it.slice_outer(&part);
+                        let wire_bytes = sub.source_bytes() + part.packed_size();
+                        let seed = &seed;
+                        let step = &step;
+                        let merge = &merge;
+                        RawTask {
+                            wire_bytes,
+                            work: Box::new(move |ctx: &NodeCtx<'_>| {
+                                // Node side: data arrives as bytes.
+                                let sub = ctx.sequential(|| sub.roundtrip());
+                                let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
+                                ctx.map_reduce_chunks(
+                                    chunks,
+                                    |chunk| {
+                                        let mut g = |b: B, x: It::Item| step(b, x);
+                                        sub.fold_outer_part(chunk, seed(), &mut g)
+                                    },
+                                    merge,
+                                )
+                                .unwrap_or_else(seed)
+                            }),
+                        }
+                    })
+                    .collect();
+                let root_prep_s = t0.elapsed().as_secs_f64();
+                let out = self.cluster.run_raw(tasks);
+                let t1 = Instant::now();
+                let value =
+                    out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
+                let root_merge_s = t1.elapsed().as_secs_f64();
+                (value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+            }
+        }
+    }
+
+    /// [`Triolet::fold_reduce`] with a broadcast *environment*: read-only
+    /// data every task needs in full (mri-q's k-space samples, tpacf's
+    /// observed dataset).
+    ///
+    /// The paper's runtime reaches such data through serialized closure
+    /// captures ("serializing an object transitively serializes all objects
+    /// that it references", §3.4); here the environment is explicit so its
+    /// bytes are accounted: one copy ships to every node.
+    pub fn fold_reduce_env<It, E, B, Seed, Step, Merge>(
+        &self,
+        it: It,
+        env: &E,
+        seed: Seed,
+        step: Step,
+        merge: Merge,
+    ) -> (B, RunStats)
+    where
+        It: DistIter,
+        E: Wire + Clone + Send + Sync,
+        B: Wire + Send,
+        Seed: Fn() -> B + Send + Sync,
+        Step: Fn(&E, B, It::Item) -> B + Send + Sync,
+        Merge: Fn(B, B) -> B + Send + Sync,
+    {
+        match it.hint() {
+            ParHint::Sequential | ParHint::LocalPar => {
+                // No node boundary: use the environment in place.
+                let step = &step;
+                self.fold_reduce(it, seed, move |b, x| step(env, b, x), merge)
+            }
+            ParHint::Par => {
+                let dom = it.outer_domain();
+                let parts = dom.split_parts(self.nodes());
+                let t0 = Instant::now();
+                let env_bytes = env.packed_size();
+                let tasks: Vec<RawTask<'_, B>> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let sub = it.slice_outer(&part);
+                        let wire_bytes =
+                            sub.source_bytes() + part.packed_size() + env_bytes;
+                        let env = env.clone();
+                        let seed = &seed;
+                        let step = &step;
+                        let merge = &merge;
+                        RawTask {
+                            wire_bytes,
+                            work: Box::new(move |ctx: &NodeCtx<'_>| {
+                                let sub = ctx.sequential(|| sub.roundtrip());
+                                let env: E = ctx.sequential(|| {
+                                    triolet_serial::unpack_all(triolet_serial::packed(&env))
+                                        .expect("environment roundtrip")
+                                });
+                                let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
+                                ctx.map_reduce_chunks(
+                                    chunks,
+                                    |chunk| {
+                                        let mut g = |b: B, x: It::Item| step(&env, b, x);
+                                        sub.fold_outer_part(chunk, seed(), &mut g)
+                                    },
+                                    merge,
+                                )
+                                .unwrap_or_else(seed)
+                            }),
+                        }
+                    })
+                    .collect();
+                let root_prep_s = t0.elapsed().as_secs_f64();
+                let out = self.cluster.run_raw(tasks);
+                let t1 = Instant::now();
+                let value =
+                    out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
+                let root_merge_s = t1.elapsed().as_secs_f64();
+                (value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+            }
+        }
+    }
+
+    // ======================================================================
+    // Derived consumers (the paper's user-facing skeletons)
+    // ======================================================================
+
+    /// Parallel sum (mri-q's inner reduction, dot products, …).
+    pub fn sum<It>(&self, it: It) -> (It::Item, RunStats)
+    where
+        It: DistIter,
+        It::Item: Wire + Send + Default + std::ops::Add<Output = It::Item>,
+    {
+        self.fold_reduce(it, It::Item::default, |a, x| a + x, |a, b| a + b)
+    }
+
+    /// Parallel reduction with an arbitrary associative operator.
+    pub fn reduce<It, Op>(&self, it: It, op: Op) -> (Option<It::Item>, RunStats)
+    where
+        It: DistIter,
+        It::Item: Wire + Send,
+        Op: Fn(It::Item, It::Item) -> It::Item + Send + Sync,
+    {
+        self.fold_reduce(
+            it,
+            || None,
+            |acc: Option<It::Item>, x| match acc {
+                None => Some(x),
+                Some(a) => Some(op(a, x)),
+            },
+            |a, b| match (a, b) {
+                (Some(a), Some(b)) => Some(op(a, b)),
+                (a, None) => a,
+                (None, b) => b,
+            },
+        )
+    }
+
+    /// Parallel element count (useful for filtered iterators).
+    pub fn count<It>(&self, it: It) -> (u64, RunStats)
+    where
+        It: DistIter,
+    {
+        self.fold_reduce(it, || 0u64, |n, _| n + 1, |a, b| a + b)
+    }
+
+    /// Parallel minimum (by `PartialOrd`; NaNs lose).
+    pub fn min<It>(&self, it: It) -> (Option<It::Item>, RunStats)
+    where
+        It: DistIter,
+        It::Item: Wire + Send + PartialOrd,
+    {
+        self.reduce(it, |a, b| if b < a { b } else { a })
+    }
+
+    /// Parallel maximum (by `PartialOrd`; NaNs lose).
+    pub fn max<It>(&self, it: It) -> (Option<It::Item>, RunStats)
+    where
+        It: DistIter,
+        It::Item: Wire + Send + PartialOrd,
+    {
+        self.reduce(it, |a, b| if b > a { b } else { a })
+    }
+
+    /// Parallel arithmetic mean of an `f64` iterator; `None` when empty.
+    pub fn mean<It>(&self, it: It) -> (Option<f64>, RunStats)
+    where
+        It: DistIter<Item = f64>,
+    {
+        let ((sum, count), stats) = self.fold_reduce(
+            it,
+            || (0.0f64, 0u64),
+            |(s, n), x| (s + x, n + 1),
+            |(s1, n1), (s2, n2)| (s1 + s2, n1 + n2),
+        );
+        (if count == 0 { None } else { Some(sum / count as f64) }, stats)
+    }
+
+    /// Drain the iterator into per-task private collectors and merge them:
+    /// the generic mutation skeleton (paper §3.4: "a distributed-parallel
+    /// histogram performs a distributed reduction, which performs one
+    /// threaded reduction per node, which sequentially builds one histogram
+    /// per thread").
+    pub fn collect<It, C, Make>(&self, it: It, make: Make) -> (C::Out, RunStats)
+    where
+        It: DistIter,
+        C: Collector<Item = It::Item> + Wire + Send,
+        Make: Fn() -> C + Send + Sync,
+    {
+        let (c, stats) = self.fold_reduce(
+            it,
+            &make,
+            |mut c: C, x| {
+                c.feed(x);
+                c
+            },
+            |mut a, b| {
+                a.merge(b);
+                a
+            },
+        );
+        (c.finish(), stats)
+    }
+
+    /// [`Triolet::collect`] with a broadcast environment.
+    pub fn collect_env<It, E, C, Make>(
+        &self,
+        it: It,
+        env: &E,
+        make: Make,
+    ) -> (C::Out, RunStats)
+    where
+        It: DistIter,
+        E: Wire + Clone + Send + Sync,
+        C: Collector<Item = It::Item> + Wire + Send,
+        Make: Fn() -> C + Send + Sync,
+    {
+        let (c, stats) = self.fold_reduce_env(
+            it,
+            env,
+            &make,
+            |_env, mut c: C, x| {
+                c.feed(x);
+                c
+            },
+            |mut a, b| {
+                a.merge(b);
+                a
+            },
+        );
+        (c.finish(), stats)
+    }
+
+    /// Integer-count histogram over `bins` buckets (tpacf's skeleton).
+    pub fn histogram<It>(&self, bins: usize, it: It) -> (Vec<u64>, RunStats)
+    where
+        It: DistIter<Item = usize>,
+    {
+        self.collect(it, || triolet_iter::CountHist::new(bins))
+    }
+
+    /// Floating-point scatter-add over `cells` cells (cutcp's skeleton: a
+    /// "floating-point histogram").
+    pub fn scatter_add<It>(&self, cells: usize, it: It) -> (Vec<f64>, RunStats)
+    where
+        It: DistIter<Item = (usize, f64)>,
+    {
+        self.collect(it, || triolet_iter::WeightHist::new(cells))
+    }
+
+    /// Materialize a 1-D iterator into a vector, preserving element order.
+    ///
+    /// Works for irregular iterators too: each node packs its variable-length
+    /// fragment (the paper's variable-length output packing) and the root
+    /// concatenates fragments in part order. Unlike [`Triolet::fold_reduce`]
+    /// — whose merge order follows the dynamic schedule — fragments are
+    /// reassembled in chunk order at every level.
+    pub fn build_vec<It>(&self, it: It) -> (Vec<It::Item>, RunStats)
+    where
+        It: DistIter<OuterDom = Seq>,
+        It::Item: Wire + Send,
+    {
+        fn node_fragment<It>(
+            ctx: &NodeCtx<'_>,
+            sub: &It,
+            part: &SeqPart,
+        ) -> Vec<It::Item>
+        where
+            It: DistIter<OuterDom = Seq>,
+            It::Item: Send,
+        {
+            let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
+            let pieces = ctx.map_chunks(chunks, |chunk| {
+                let mut v = Vec::with_capacity(chunk.count());
+                sub.fold_outer_part(chunk, (), &mut |(), x| v.push(x));
+                v
+            });
+            // Concatenate in chunk order (sequential packing on the node).
+            ctx.sequential(|| {
+                let total = pieces.iter().map(Vec::len).sum();
+                let mut out = Vec::with_capacity(total);
+                for p in pieces {
+                    out.extend(p);
+                }
+                out
+            })
+        }
+
+        let dom = it.outer_domain();
+        match it.hint() {
+            ParHint::Sequential => {
+                let t0 = Instant::now();
+                let mut out = Vec::new();
+                it.fold_outer_part(&dom.whole_part(), (), &mut |(), x| out.push(x));
+                (out, RunStats::local(t0.elapsed().as_secs_f64()))
+            }
+            ParHint::LocalPar => {
+                let part = dom.whole_part();
+                let out = self.cluster.run_raw(vec![RawTask {
+                    wire_bytes: 0,
+                    work: Box::new(move |ctx: &NodeCtx<'_>| node_fragment(ctx, &it, &part)),
+                }]);
+                let mut results = out.results;
+                let value = results.pop().expect("one local task");
+                (value, RunStats::from_dist(out.timing, 0.0))
+            }
+            ParHint::Par => {
+                let parts = dom.split_parts(self.nodes());
+                let t0 = Instant::now();
+                let tasks: Vec<RawTask<'_, Vec<It::Item>>> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let sub = it.slice_outer(&part);
+                        let wire_bytes = sub.source_bytes() + part.packed_size();
+                        RawTask {
+                            wire_bytes,
+                            work: Box::new(move |ctx: &NodeCtx<'_>| {
+                                let sub = ctx.sequential(|| sub.roundtrip());
+                                node_fragment(ctx, &sub, &part)
+                            }),
+                        }
+                    })
+                    .collect();
+                let root_prep_s = t0.elapsed().as_secs_f64();
+                let out = self.cluster.run_raw(tasks);
+                let t1 = Instant::now();
+                let total: usize = out.results.iter().map(Vec::len).sum();
+                let mut value = Vec::with_capacity(total);
+                for frag in out.results {
+                    value.extend(frag);
+                }
+                let root_s = root_prep_s + t1.elapsed().as_secs_f64();
+                (value, RunStats::from_dist(out.timing, root_s))
+            }
+        }
+    }
+
+    /// [`Triolet::build_vec`] with a broadcast environment: materialize
+    /// `f(env, item)` per element, preserving order (mri-q's pixel map).
+    pub fn build_vec_env<It, E, U, F>(&self, it: It, env: &E, f: F) -> (Vec<U>, RunStats)
+    where
+        It: DistIter<OuterDom = Seq>,
+        E: Wire + Clone + Send + Sync,
+        U: Wire + Send,
+        F: Fn(&E, It::Item) -> U + Send + Sync,
+    {
+        fn node_fragment<It, E, U>(
+            ctx: &NodeCtx<'_>,
+            sub: &It,
+            env: &E,
+            part: &SeqPart,
+            f: &(impl Fn(&E, It::Item) -> U + Send + Sync),
+        ) -> Vec<U>
+        where
+            It: DistIter<OuterDom = Seq>,
+            U: Send,
+            E: Sync,
+        {
+            let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
+            let pieces = ctx.map_chunks(chunks, |chunk| {
+                let mut v = Vec::with_capacity(chunk.count());
+                sub.fold_outer_part(chunk, (), &mut |(), x| v.push(f(env, x)));
+                v
+            });
+            ctx.sequential(|| {
+                let total = pieces.iter().map(Vec::len).sum();
+                let mut out = Vec::with_capacity(total);
+                for p in pieces {
+                    out.extend(p);
+                }
+                out
+            })
+        }
+
+        let dom = it.outer_domain();
+        match it.hint() {
+            ParHint::Sequential => {
+                let t0 = Instant::now();
+                let mut out = Vec::with_capacity(dom.count());
+                it.fold_outer_part(&dom.whole_part(), (), &mut |(), x| out.push(f(env, x)));
+                (out, RunStats::local(t0.elapsed().as_secs_f64()))
+            }
+            ParHint::LocalPar => {
+                let part = dom.whole_part();
+                let f = &f;
+                let out = self.cluster.run_raw(vec![RawTask {
+                    wire_bytes: 0,
+                    work: Box::new(move |ctx: &NodeCtx<'_>| {
+                        node_fragment(ctx, &it, env, &part, f)
+                    }),
+                }]);
+                let mut results = out.results;
+                let value = results.pop().expect("one local task");
+                (value, RunStats::from_dist(out.timing, 0.0))
+            }
+            ParHint::Par => {
+                let parts = dom.split_parts(self.nodes());
+                let t0 = Instant::now();
+                let env_bytes = env.packed_size();
+                let f = &f;
+                let tasks: Vec<RawTask<'_, Vec<U>>> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let sub = it.slice_outer(&part);
+                        let wire_bytes =
+                            sub.source_bytes() + part.packed_size() + env_bytes;
+                        let env = env.clone();
+                        RawTask {
+                            wire_bytes,
+                            work: Box::new(move |ctx: &NodeCtx<'_>| {
+                                let sub = ctx.sequential(|| sub.roundtrip());
+                                let env: E = ctx.sequential(|| {
+                                    triolet_serial::unpack_all(triolet_serial::packed(&env))
+                                        .expect("environment roundtrip")
+                                });
+                                node_fragment(ctx, &sub, &env, &part, f)
+                            }),
+                        }
+                    })
+                    .collect();
+                let root_prep_s = t0.elapsed().as_secs_f64();
+                let out = self.cluster.run_raw(tasks);
+                let t1 = Instant::now();
+                let total: usize = out.results.iter().map(Vec::len).sum();
+                let mut value = Vec::with_capacity(total);
+                for frag in out.results {
+                    value.extend(frag);
+                }
+                let root_s = root_prep_s + t1.elapsed().as_secs_f64();
+                (value, RunStats::from_dist(out.timing, root_s))
+            }
+        }
+    }
+
+    /// Materialize a 3-D iterator into a dense grid (cutcp-style outputs
+    /// when computed per grid point rather than scatter-added).
+    ///
+    /// [`Dim3`](triolet_domain::Dim3) distribution uses slab parts, which
+    /// are contiguous in row-major linearization, so assembly is ordered
+    /// concatenation like [`Triolet::build_vec`].
+    pub fn build_array3<It>(&self, it: It) -> (triolet_iter::Array3<It::Item>, RunStats)
+    where
+        It: DistIter<OuterDom = triolet_domain::Dim3>,
+        It::Item: Wire + Send,
+    {
+        let dom = it.outer_domain();
+        match it.hint() {
+            ParHint::Sequential => {
+                let t0 = Instant::now();
+                let mut data = Vec::with_capacity(dom.count());
+                it.fold_outer_part(&dom.whole_part(), (), &mut |(), x| data.push(x));
+                (
+                    triolet_iter::Array3::from_vec(data, dom),
+                    RunStats::local(t0.elapsed().as_secs_f64()),
+                )
+            }
+            ParHint::LocalPar | ParHint::Par => {
+                let parts = if it.hint() == ParHint::Par {
+                    dom.split_parts(self.nodes())
+                } else {
+                    vec![dom.whole_part()]
+                };
+                let local = it.hint() == ParHint::LocalPar;
+                let t0 = Instant::now();
+                let tasks: Vec<RawTask<'_, Vec<It::Item>>> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let sub = it.slice_outer(&part);
+                        let wire_bytes =
+                            if local { 0 } else { sub.source_bytes() + part.packed_size() };
+                        RawTask {
+                            wire_bytes,
+                            work: Box::new(move |ctx: &NodeCtx<'_>| {
+                                let sub = if local {
+                                    sub
+                                } else {
+                                    ctx.sequential(|| sub.roundtrip())
+                                };
+                                let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
+                                let pieces = ctx.map_chunks(chunks, |chunk| {
+                                    let mut v = Vec::with_capacity(chunk.count());
+                                    sub.fold_outer_part(chunk, (), &mut |(), x| v.push(x));
+                                    v
+                                });
+                                ctx.sequential(|| {
+                                    let total = pieces.iter().map(Vec::len).sum();
+                                    let mut out = Vec::with_capacity(total);
+                                    for p in pieces {
+                                        out.extend(p);
+                                    }
+                                    out
+                                })
+                            }),
+                        }
+                    })
+                    .collect();
+                let root_prep_s = t0.elapsed().as_secs_f64();
+                let out = self.cluster.run_raw(tasks);
+                let t1 = Instant::now();
+                let total: usize = out.results.iter().map(Vec::len).sum();
+                let mut data = Vec::with_capacity(total);
+                for frag in out.results {
+                    data.extend(frag);
+                }
+                let root_s = root_prep_s + t1.elapsed().as_secs_f64();
+                (
+                    triolet_iter::Array3::from_vec(data, dom),
+                    RunStats::from_dist(out.timing, root_s),
+                )
+            }
+        }
+    }
+
+    /// Materialize a 2-D iterator into a dense matrix (sgemm's output
+    /// assembly): nodes compute rectangular blocks, the root places them.
+    pub fn build_array2<It>(&self, it: It) -> (Array2<It::Item>, RunStats)
+    where
+        It: DistIter<OuterDom = Dim2>,
+        It::Item: Wire + Send + Clone + Default,
+    {
+        /// Compute one block's row-major contents from ordered chunk pieces.
+        fn assemble_block<It>(
+            ctx: &NodeCtx<'_>,
+            sub: &It,
+            part: &triolet_domain::Dim2Part,
+        ) -> Vec<It::Item>
+        where
+            It: DistIter<OuterDom = Dim2>,
+            It::Item: Send + Clone + Default,
+        {
+            let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
+            let pieces = ctx.map_chunks(chunks.clone(), |chunk| {
+                let mut v = Vec::with_capacity(chunk.count());
+                sub.fold_outer_part(chunk, (), &mut |(), x| v.push(x));
+                v
+            });
+            // Place chunk pieces into the block (sequential on the node).
+            ctx.sequential(|| {
+                let mut block = vec![It::Item::default(); part.count()];
+                for (chunk, piece) in chunks.iter().zip(pieces) {
+                    for (k, x) in piece.into_iter().enumerate() {
+                        let (r, c) = chunk.index_at(k);
+                        let local = (r - part.row0) * part.cols + (c - part.col0);
+                        block[local] = x;
+                    }
+                }
+                block
+            })
+        }
+
+        let dom = it.outer_domain();
+        match it.hint() {
+            ParHint::Sequential => {
+                // Elements arrive in row-major order; fill directly.
+                let t0 = Instant::now();
+                let mut data = Vec::with_capacity(dom.count());
+                it.fold_outer_part(&dom.whole_part(), (), &mut |(), x| data.push(x));
+                let stats = RunStats::local(t0.elapsed().as_secs_f64());
+                (Array2::from_vec(data, dom.rows, dom.cols), stats)
+            }
+            ParHint::LocalPar => {
+                let part = dom.whole_part();
+                let out = self.cluster.run_raw(vec![RawTask {
+                    wire_bytes: 0,
+                    work: Box::new(move |ctx: &NodeCtx<'_>| assemble_block(ctx, &it, &part)),
+                }]);
+                let mut results = out.results;
+                let data = results.pop().expect("one local task");
+                (
+                    Array2::from_vec(data, dom.rows, dom.cols),
+                    RunStats::from_dist(out.timing, 0.0),
+                )
+            }
+            ParHint::Par => {
+                let parts = dom.split_parts(self.nodes());
+                let t0 = Instant::now();
+                let tasks: Vec<RawTask<'_, (triolet_domain::Dim2Part, Vec<It::Item>)>> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let sub = it.slice_outer(&part);
+                        let wire_bytes = sub.source_bytes() + part.packed_size();
+                        RawTask {
+                            wire_bytes,
+                            work: Box::new(move |ctx: &NodeCtx<'_>| {
+                                let sub = ctx.sequential(|| sub.roundtrip());
+                                let block = assemble_block(ctx, &sub, &part);
+                                (part, block)
+                            }),
+                        }
+                    })
+                    .collect();
+                let root_prep_s = t0.elapsed().as_secs_f64();
+                let out = self.cluster.run_raw(tasks);
+                let t1 = Instant::now();
+                let mut result = Array2::zeros(dom.rows, dom.cols);
+                for (part, block) in out.results {
+                    for (k, x) in block.into_iter().enumerate() {
+                        let (r, c) = part.index_at(k);
+                        result[(r, c)] = x;
+                    }
+                }
+                let root_s = root_prep_s + t1.elapsed().as_secs_f64();
+                (result, RunStats::from_dist(out.timing, root_s))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triolet_iter::prelude::*;
+    use triolet_iter::sources::from_vec;
+
+    fn rt(nodes: usize, tpn: usize) -> Triolet {
+        Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn))
+    }
+
+    #[test]
+    fn sum_matches_sequential_all_hints() {
+        let xs: Vec<i64> = (0..10_000).collect();
+        let expect: i64 = xs.iter().sum();
+        let rt = rt(4, 4);
+        for hinted in [
+            from_vec(xs.clone()),
+            from_vec(xs.clone()).localpar(),
+            from_vec(xs.clone()).par(),
+        ] {
+            let (s, _) = rt.sum(hinted);
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn distributed_sum_ships_sliced_data() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let rt = rt(4, 2);
+        let full_bytes = from_vec(xs.clone()).source_bytes() as u64;
+        let (_, stats) = rt.sum(from_vec(xs).par());
+        // Each node receives ~1/4 of the data; the total outgoing bytes are
+        // about one full copy (plus part headers), NOT nodes x full copy.
+        assert!(stats.bytes_out < full_bytes + 1024, "bytes_out={} full={}", stats.bytes_out, full_bytes);
+        assert!(stats.bytes_out as f64 > 0.9 * full_bytes as f64);
+        assert_eq!(stats.messages, 8);
+    }
+
+    #[test]
+    fn sum_of_filtered_distributes() {
+        let xs: Vec<i64> = (0..999).collect();
+        let expect: i64 = xs.iter().filter(|&&x| x % 7 == 0).sum();
+        let (s, _) = rt(3, 2).sum(from_vec(xs).filter(|x: &i64| x % 7 == 0).par());
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn reduce_max() {
+        let xs: Vec<i64> = (0..500).map(|i| (i * 37) % 251).collect();
+        let expect = xs.iter().copied().max();
+        let (m, _) = rt(4, 2).reduce(from_vec(xs).par(), i64::max);
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        let (m, _) = rt(2, 2).reduce(from_vec(Vec::<i64>::new()).par(), i64::max);
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn count_filtered() {
+        let (n, _) = rt(4, 4).count(range(1000).filter(|i: &usize| i.is_multiple_of(3)).par());
+        assert_eq!(n, 334);
+    }
+
+    #[test]
+    fn histogram_matches_sequential() {
+        let xs: Vec<u32> = (0..5000).map(|i| (i * 31 + 7) % 10).collect();
+        let it = from_vec(xs.clone()).map(|x: u32| x as usize);
+        let (hist, _) = rt(4, 4).histogram(10, it.par());
+        let mut expect = vec![0u64; 10];
+        for x in xs {
+            expect[x as usize] += 1;
+        }
+        assert_eq!(hist, expect);
+    }
+
+    #[test]
+    fn scatter_add_matches_sequential() {
+        let pairs: Vec<(usize, f64)> =
+            (0..2000).map(|i| (i % 16, (i as f64) * 0.25)).collect();
+        let (grid, _) = rt(2, 4).scatter_add(16, from_vec(pairs.clone()).par());
+        let mut expect = vec![0.0f64; 16];
+        for (b, w) in pairs {
+            expect[b] += w;
+        }
+        for (a, b) in grid.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn build_vec_preserves_order() {
+        let (v, _) = rt(4, 2).build_vec(range(100).map(|i: usize| i * 3).par());
+        assert_eq!(v, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_vec_irregular_preserves_order() {
+        let it = range(50)
+            .map(|i: usize| i as i64)
+            .filter(|x: &i64| x % 2 == 0)
+            .par();
+        let (v, _) = rt(4, 2).build_vec(it);
+        assert_eq!(v, (0..50).filter(|x| x % 2 == 0).map(|x| x as i64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_array2_blocks_assemble() {
+        let it = range2d(8, 6).map(|(r, c): (usize, usize)| (r * 100 + c) as i64).par();
+        let (m, _) = rt(4, 2).build_array2(it);
+        assert_eq!(m.rows(), 8);
+        assert_eq!(m.cols(), 6);
+        for r in 0..8 {
+            for c in 0..6 {
+                assert_eq!(m[(r, c)], (r * 100 + c) as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn localpar_does_not_ship_bytes() {
+        let xs: Vec<f32> = (0..512).map(|i| i as f32).collect();
+        let (_, stats) = rt(4, 4).sum(from_vec(xs).localpar());
+        assert_eq!(stats.bytes_out, 0);
+    }
+
+    #[test]
+    fn measured_mode_agrees_with_virtual() {
+        let xs: Vec<i64> = (0..4000).collect();
+        let expect: i64 = xs.iter().sum();
+        let m = Triolet::new(ClusterConfig::measured(2, 2));
+        let (s, stats) = m.sum(from_vec(xs).par());
+        assert_eq!(s, expect);
+        assert!(stats.total_s > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_than_elements() {
+        let (s, _) = rt(8, 2).sum(from_vec(vec![1i64, 2, 3]).par());
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn build_array3_direct_potential() {
+        // A per-grid-point (gather-style) computation over a Dim3 domain.
+        let dom = triolet_domain::Dim3::new(4, 3, 5);
+        let engine = rt(3, 2);
+        let (g, _) = engine.build_array3(
+            triolet_iter::indices(dom)
+                .map(|(x, y, z): (usize, usize, usize)| (x * 100 + y * 10 + z) as i64)
+                .par(),
+        );
+        for x in 0..4 {
+            for y in 0..3 {
+                for z in 0..5 {
+                    assert_eq!(g[(x, y, z)], (x * 100 + y * 10 + z) as i64);
+                }
+            }
+        }
+        // LocalPar agrees.
+        let (g2, stats) = engine.build_array3(
+            triolet_iter::indices(dom)
+                .map(|(x, y, z): (usize, usize, usize)| (x * 100 + y * 10 + z) as i64)
+                .localpar(),
+        );
+        assert_eq!(g, g2);
+        assert_eq!(stats.bytes_out, 0);
+    }
+
+    #[test]
+    fn min_max_mean() {
+        let engine = rt(3, 2);
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
+        let (mn, _) = engine.min(from_vec(xs.clone()).par());
+        let (mx, _) = engine.max(from_vec(xs.clone()).par());
+        let (avg, _) = engine.mean(from_vec(xs.clone()).par());
+        assert_eq!(mn, Some(0.0));
+        assert_eq!(mx, Some(100.0));
+        let expect = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((avg.unwrap() - expect).abs() < 1e-12);
+        let (none, _) = engine.mean(from_vec(Vec::<f64>::new()).par());
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn empty_input_par_sum_is_zero() {
+        let (s, _) = rt(4, 4).sum(from_vec(Vec::<i64>::new()).par());
+        assert_eq!(s, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Index-space algebra for triolet-rs.
+//!
+//! The Triolet paper (§3.3) introduces a `Domain` type class to characterize
+//! iteration spaces so that skeletons can be overloaded over one-, two- and
+//! three-dimensional loops without flattening overhead (no division/modulus to
+//! recover 2-D indices, no pointer indirection from arrays-of-arrays).
+//!
+//! This crate provides:
+//!
+//! * [`Domain`] — the trait: index type, counting, (de)linearization,
+//!   intersection (for `zip`), and partitioning into [`Domain::Part`]s.
+//! * [`Seq`] — one-dimensional domains (an array length), the paper's `Seq`.
+//! * [`Dim2`] / [`Dim3`] — dense rectangular/box domains, the paper's `Dim2`
+//!   generalized one dimension further for cutcp's 3-D potential grid.
+//! * Parts — contiguous chunks ([`SeqPart`]), 2-D blocks ([`Dim2Part`]) and
+//!   3-D boxes ([`Dim3Part`]) used for both *work* distribution (which tasks a
+//!   node runs) and *data* distribution (which array slice it is sent). The
+//!   same part value drives both, which is exactly the paper's separation of
+//!   concerns: skeletons pick how to split the domain, indexers know how to
+//!   slice their data sources for a given part.
+//!
+//! # Example
+//!
+//! ```
+//! use triolet_domain::{Domain, Dim2, Part};
+//!
+//! let d = Dim2::new(6, 8);
+//! assert_eq!(d.count(), 48);
+//! // 2-D block decomposition for 4 nodes: a 2x2 grid of 3x4 blocks.
+//! let blocks = d.split_parts(4);
+//! assert_eq!(blocks.len(), 4);
+//! assert_eq!(blocks.iter().map(|b| b.count()).sum::<usize>(), 48);
+//! ```
+
+mod dim2;
+mod dim3;
+mod part;
+mod seq;
+mod split;
+
+pub use dim2::{Dim2, Dim2Part};
+pub use dim3::{Dim3, Dim3Part};
+pub use part::Part;
+pub use seq::{Seq, SeqPart};
+pub use split::{chunk_ranges, near_square_grid};
+
+use std::fmt::Debug;
+use triolet_serial::Wire;
+
+/// An iteration space: the paper's `Domain` type class (§3.3).
+///
+/// A domain knows how many points it contains, how to enumerate them in a
+/// canonical (row-major) order, how to intersect with another domain of the
+/// same shape (used by `zip`), and how to split itself into parts for
+/// distribution.
+pub trait Domain: Clone + PartialEq + Eq + Debug + Send + Sync + Wire + 'static {
+    /// The paper's associated `Index d` type: `usize` for [`Seq`],
+    /// `(usize, usize)` for [`Dim2`], `(usize, usize, usize)` for [`Dim3`].
+    type Index: Copy + Debug + PartialEq + Send + Sync + 'static;
+
+    /// The part type produced by distribution: a contiguous chunk, 2-D block,
+    /// or 3-D box of this domain.
+    type Part: Part<Index = Self::Index>;
+
+    /// Total number of index points.
+    fn count(&self) -> usize;
+
+    /// The `k`-th index in canonical row-major order, `k < count()`.
+    fn index_at(&self, k: usize) -> Self::Index;
+
+    /// Inverse of [`Domain::index_at`].
+    fn linear_of(&self, idx: Self::Index) -> usize;
+
+    /// Whether `idx` lies inside the domain.
+    fn contains(&self, idx: Self::Index) -> bool;
+
+    /// Pointwise minimum of extents: the domain visited when zipping two
+    /// collections (the paper's `zipWith` "visits all points in the
+    /// intersection of two domains").
+    fn intersect(&self, other: &Self) -> Self;
+
+    /// The whole domain as a single part.
+    fn whole_part(&self) -> Self::Part;
+
+    /// Split into at most `n` non-empty parts that exactly cover the domain.
+    ///
+    /// [`Seq`] yields balanced contiguous chunks; [`Dim2`] yields a
+    /// near-square grid of blocks (the 2-D block decomposition used by sgemm);
+    /// [`Dim3`] splits along the outermost axis.
+    fn split_parts(&self, n: usize) -> Vec<Self::Part>;
+
+    /// True when the domain has no points.
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+}

@@ -1,0 +1,40 @@
+//! The [`Part`] trait: a rectangular piece of a domain.
+
+use std::fmt::Debug;
+use triolet_serial::Wire;
+
+/// A piece of a [`crate::Domain`], produced by work distribution.
+///
+/// A part enumerates its own index points in row-major order, and can split
+/// itself further — the two-level distribution of the paper (§3.4) first
+/// splits a domain into node parts, then splits each node part again across
+/// worker threads, then threads may split once more for sequential chunking.
+pub trait Part: Clone + PartialEq + Debug + Send + Sync + Wire + 'static {
+    /// Index type of the parent domain.
+    type Index: Copy + Debug + PartialEq + Send + Sync + 'static;
+
+    /// Number of index points in this part.
+    fn count(&self) -> usize;
+
+    /// The `k`-th index of this part in row-major order, `k < count()`.
+    fn index_at(&self, k: usize) -> Self::Index;
+
+    /// Split into at most `n` non-empty sub-parts covering this part exactly.
+    fn split(&self, n: usize) -> Vec<Self>;
+
+    /// Split into two halves for recursive divide-and-conquer scheduling
+    /// (work stealing). Returns `None` when the part is too small to split
+    /// (fewer than 2 points).
+    fn split_half(&self) -> Option<(Self, Self)>;
+
+    /// True when the part has no points.
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Convenience: collect all indices (test/debug helper; production code
+    /// iterates via `index_at` to stay allocation-free).
+    fn indices(&self) -> Vec<Self::Index> {
+        (0..self.count()).map(|k| self.index_at(k)).collect()
+    }
+}

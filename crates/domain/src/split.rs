@@ -1,0 +1,116 @@
+//! Shared splitting arithmetic.
+
+/// Balanced contiguous chunking of `len` items into at most `n` non-empty
+/// ranges `(start, len)`. The first `len % n` chunks get one extra element,
+/// so chunk sizes differ by at most one.
+pub fn chunk_ranges(len: usize, n: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    // A worker count of zero is treated as one: callers always want the work
+    // done, and silently dropping the range would be a footgun.
+    let n = n.max(1).min(len);
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let sz = base + usize::from(i < extra);
+        out.push((start, sz));
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Choose a near-square process grid `(pr, pc)` with `pr * pc <= n` and
+/// `pr * pc` maximal, preferring shapes whose aspect ratio matches
+/// `rows / cols`. This drives the paper's 2-D block decomposition of dense
+/// matrices: with 8 nodes and a square matrix it picks a 4x2 or 2x4 grid.
+pub fn near_square_grid(n: usize, rows: usize, cols: usize) -> (usize, usize) {
+    if n <= 1 || rows == 0 || cols == 0 {
+        return (1, 1);
+    }
+    let mut best = (1, n.min(cols).max(1).min(cols));
+    let mut best_score = f64::MIN;
+    for pr in 1..=n.min(rows) {
+        // Clamp the column count to the available extent instead of
+        // discarding the candidate: with few columns, tall grids still use
+        // every worker they can.
+        let pc = (n / pr).min(cols);
+        if pc == 0 {
+            break;
+        }
+        let used = (pr * pc) as f64;
+        // Prefer using all n workers; tiebreak on squareness of the blocks.
+        let block_r = rows as f64 / pr as f64;
+        let block_c = cols as f64 / pc as f64;
+        let aspect = if block_r > block_c { block_c / block_r } else { block_r / block_c };
+        let score = used * 1000.0 + aspect;
+        if score > best_score {
+            best_score = score;
+            best = (pr, pc);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for n in [1usize, 2, 3, 8, 200] {
+                let chunks = chunk_ranges(len, n);
+                let total: usize = chunks.iter().map(|&(_, l)| l).sum();
+                assert_eq!(total, len, "len={len} n={n}");
+                let mut pos = 0;
+                for &(s, l) in &chunks {
+                    assert_eq!(s, pos);
+                    assert!(l > 0, "no empty chunks");
+                    pos += l;
+                }
+                assert!(chunks.len() <= n.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_balanced_within_one() {
+        let chunks = chunk_ranges(103, 8);
+        let min = chunks.iter().map(|&(_, l)| l).min().unwrap();
+        let max = chunks.iter().map(|&(_, l)| l).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn grid_square_case() {
+        let (pr, pc) = near_square_grid(4, 100, 100);
+        assert_eq!(pr * pc, 4);
+        assert_eq!(pr, 2);
+        assert_eq!(pc, 2);
+    }
+
+    #[test]
+    fn grid_uses_all_workers_when_possible() {
+        let (pr, pc) = near_square_grid(8, 4096, 4096);
+        assert_eq!(pr * pc, 8);
+    }
+
+    #[test]
+    fn grid_respects_small_extents() {
+        // Only 2 rows available: cannot have more than 2 row-parts.
+        let (pr, pc) = near_square_grid(16, 2, 1000);
+        assert!(pr <= 2);
+        assert!(pr * pc <= 16);
+    }
+
+    #[test]
+    fn grid_degenerate() {
+        assert_eq!(near_square_grid(1, 10, 10), (1, 1));
+        assert_eq!(near_square_grid(0, 10, 10), (1, 1));
+        assert_eq!(near_square_grid(4, 0, 10), (1, 1));
+    }
+}

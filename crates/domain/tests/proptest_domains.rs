@@ -1,0 +1,136 @@
+//! Property tests on the domain algebra: linearization must be a bijection,
+//! partitioning must cover every index exactly once at every level of the
+//! two-level (node -> thread -> sequential chunk) splitting hierarchy.
+
+use proptest::prelude::*;
+use triolet_domain::{chunk_ranges, near_square_grid, Dim2, Dim3, Domain, Part, Seq};
+
+fn covers_exactly<D: Domain>(d: &D, parts: &[D::Part]) -> Result<(), TestCaseError>
+where
+    D::Index: std::hash::Hash + Eq,
+{
+    let mut seen = std::collections::HashSet::new();
+    for p in parts {
+        prop_assert!(!p.is_empty(), "no empty parts allowed");
+        for k in 0..p.count() {
+            let idx = p.index_at(k);
+            prop_assert!(d.contains(idx));
+            prop_assert!(seen.insert(idx), "index covered twice");
+        }
+    }
+    prop_assert_eq!(seen.len(), d.count());
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn seq_bijection(len in 0usize..500, k in 0usize..500) {
+        let d = Seq::new(len);
+        if k < len {
+            prop_assert_eq!(d.linear_of(d.index_at(k)), k);
+        }
+    }
+
+    #[test]
+    fn dim2_bijection(rows in 1usize..40, cols in 1usize..40) {
+        let d = Dim2::new(rows, cols);
+        for k in 0..d.count() {
+            prop_assert_eq!(d.linear_of(d.index_at(k)), k);
+        }
+    }
+
+    #[test]
+    fn dim3_bijection(nx in 1usize..12, ny in 1usize..12, nz in 1usize..12) {
+        let d = Dim3::new(nx, ny, nz);
+        for k in 0..d.count() {
+            prop_assert_eq!(d.linear_of(d.index_at(k)), k);
+        }
+    }
+
+    #[test]
+    fn seq_split_covers(len in 0usize..300, n in 1usize..20) {
+        let d = Seq::new(len);
+        covers_exactly(&d, &d.split_parts(n))?;
+    }
+
+    #[test]
+    fn dim2_split_covers(rows in 1usize..30, cols in 1usize..30, n in 1usize..20) {
+        let d = Dim2::new(rows, cols);
+        covers_exactly(&d, &d.split_parts(n))?;
+    }
+
+    #[test]
+    fn dim3_split_covers(nx in 1usize..10, ny in 1usize..8, nz in 1usize..8, n in 1usize..12) {
+        let d = Dim3::new(nx, ny, nz);
+        covers_exactly(&d, &d.split_parts(n))?;
+    }
+
+    #[test]
+    fn two_level_split_covers(rows in 1usize..24, cols in 1usize..24, nodes in 1usize..8, threads in 1usize..8) {
+        // Node-level blocks, each further split across threads: the union of
+        // all thread parts must still cover the domain exactly once.
+        let d = Dim2::new(rows, cols);
+        let mut leaf_parts = Vec::new();
+        for node_part in d.split_parts(nodes) {
+            leaf_parts.extend(node_part.split(threads));
+        }
+        covers_exactly(&d, &leaf_parts)?;
+    }
+
+    #[test]
+    fn recursive_halving_covers(len in 2usize..400) {
+        // Fully unfold split_half like the work-stealing scheduler does.
+        let d = Seq::new(len);
+        let mut stack = vec![d.whole_part()];
+        let mut leaves = Vec::new();
+        while let Some(p) = stack.pop() {
+            if p.count() <= 3 {
+                leaves.push(p);
+            } else {
+                let (a, b) = p.split_half().expect("count > 3 must split");
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+        covers_exactly(&d, &leaves)?;
+    }
+
+    #[test]
+    fn intersect_commutes_dim2(a_r in 0usize..50, a_c in 0usize..50, b_r in 0usize..50, b_c in 0usize..50) {
+        let a = Dim2::new(a_r, a_c);
+        let b = Dim2::new(b_r, b_c);
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert!(a.intersect(&b).count() <= a.count());
+        prop_assert!(a.intersect(&b).count() <= b.count());
+    }
+
+    #[test]
+    fn near_square_grid_invariants(n in 1usize..64, rows in 1usize..200, cols in 1usize..200) {
+        let (pr, pc) = near_square_grid(n, rows, cols);
+        prop_assert!(pr >= 1 && pc >= 1);
+        prop_assert!(pr * pc <= n, "never more parts than workers");
+        prop_assert!(pr <= rows && pc <= cols, "no empty rows/cols of blocks");
+        // When the space allows it, all n workers are used.
+        if rows * cols >= n {
+            let mut best_used = 0;
+            for cand_pr in 1..=n.min(rows) {
+                let cand_pc = (n / cand_pr).min(cols);
+                best_used = best_used.max(cand_pr * cand_pc);
+            }
+            prop_assert_eq!(pr * pc, best_used, "must maximize used workers");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_is_partition(len in 0usize..1000, n in 0usize..40) {
+        let chunks = chunk_ranges(len, n);
+        let total: usize = chunks.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total, len);
+        let mut pos = 0usize;
+        for &(s, l) in &chunks {
+            prop_assert_eq!(s, pos);
+            prop_assert!(l > 0);
+            pos += l;
+        }
+    }
+}

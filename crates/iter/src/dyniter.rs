@@ -1,0 +1,358 @@
+//! The paper's `Iter` GADT, literally: a four-constructor enum dispatched at
+//! run time.
+//!
+//! The primary encoding in this crate ([`crate::shapes`]) resolves the
+//! constructor *statically* — each shape is its own generic struct and rustc
+//! monomorphizes the Figure 2 equations away, exactly as GHC's simplifier
+//! does when "the compiler knows their `Iter` argument's constructor".
+//!
+//! This module is the other half of the paper's story: when the constructor
+//! is **not** statically known (Triolet falls back to runtime dispatch and
+//! pays for it), the value lives in a [`DynIter`] — one enum with the four
+//! constructors of §3.2:
+//!
+//! ```text
+//! data Iter a where
+//!   IdxFlat  :: Idx a         -> Iter a
+//!   StepFlat :: Step a        -> Iter a
+//!   IdxNest  :: Idx (Iter a)  -> Iter a
+//!   StepNest :: Step (Iter a) -> Iter a
+//! ```
+//!
+//! Every combinator below is written as the paper's four equations, matching
+//! on the constructor. The costs are honest: boxed lookups and steppers,
+//! one virtual call per element per stage. `DynIter` is used by tests that
+//! need runtime-shape dispatch and serves as the measured contrast to the
+//! fused encoding (see `benches/ablation_fusion.rs`).
+
+/// A boxed indexer: size plus lookup function (the dynamic `Idx a`).
+pub struct DynIdx<T> {
+    len: usize,
+    get: Box<dyn Fn(usize) -> T>,
+}
+
+impl<T> DynIdx<T> {
+    /// Build from a length and a lookup function.
+    pub fn new(len: usize, get: impl Fn(usize) -> T + 'static) -> Self {
+        DynIdx { len, get: Box::new(get) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up one element.
+    pub fn get(&self, i: usize) -> T {
+        (self.get)(i)
+    }
+}
+
+/// A boxed stepper (the dynamic `Step a`).
+pub type DynStep<T> = Box<dyn Iterator<Item = T>>;
+
+/// The runtime-dispatched hybrid iterator: the paper's `Iter` data type.
+pub enum DynIter<T> {
+    /// A flat random-access loop.
+    IdxFlat(DynIdx<T>),
+    /// A flat sequential loop.
+    StepFlat(DynStep<T>),
+    /// An indexer of inner iterators (partitionable outer, irregular inner).
+    IdxNest(DynIdx<DynIter<T>>),
+    /// A stepper of inner iterators (fully sequential nest).
+    StepNest(DynStep<DynIter<T>>),
+}
+
+impl<T: 'static> DynIter<T> {
+    /// Wrap a concrete vector (an `IdxFlat` over owned data).
+    pub fn from_vec(xs: Vec<T>) -> Self
+    where
+        T: Clone,
+    {
+        let xs = std::rc::Rc::new(xs);
+        DynIter::IdxFlat(DynIdx::new(xs.len(), move |i| xs[i].clone()))
+    }
+
+    /// Wrap any stepper (iterator) as a `StepFlat`.
+    pub fn from_step(it: impl Iterator<Item = T> + 'static) -> Self {
+        DynIter::StepFlat(Box::new(it))
+    }
+
+    /// The constructor's name (for tests asserting Figure 2's shape rules).
+    pub fn constructor(&self) -> &'static str {
+        match self {
+            DynIter::IdxFlat(_) => "IdxFlat",
+            DynIter::StepFlat(_) => "StepFlat",
+            DynIter::IdxNest(_) => "IdxNest",
+            DynIter::StepNest(_) => "StepNest",
+        }
+    }
+
+    /// Whether the outer level is an indexer (partitionable).
+    pub fn outer_parallelizable(&self) -> bool {
+        matches!(self, DynIter::IdxFlat(_) | DynIter::IdxNest(_))
+    }
+
+    /// `map` — Figure 2: shape-preserving on all four constructors.
+    pub fn map<U: 'static>(self, f: std::rc::Rc<dyn Fn(T) -> U>) -> DynIter<U> {
+        match self {
+            DynIter::IdxFlat(idx) => {
+                let g = f.clone();
+                DynIter::IdxFlat(DynIdx::new(idx.len, move |i| g((idx.get)(i))))
+            }
+            DynIter::StepFlat(s) => {
+                let g = f.clone();
+                DynIter::StepFlat(Box::new(s.map(move |x| g(x))))
+            }
+            DynIter::IdxNest(idx) => {
+                let g = f.clone();
+                DynIter::IdxNest(DynIdx::new(idx.len, move |i| (idx.get)(i).map(g.clone())))
+            }
+            DynIter::StepNest(s) => {
+                let g = f.clone();
+                DynIter::StepNest(Box::new(s.map(move |inner| inner.map(g.clone()))))
+            }
+        }
+    }
+
+    /// `filter` — Figure 2: a flat indexer becomes an indexer of steppers
+    /// (IdxNest); the other constructors recurse or filter in place.
+    pub fn filter(self, p: std::rc::Rc<dyn Fn(&T) -> bool>) -> DynIter<T> {
+        match self {
+            DynIter::IdxFlat(idx) => {
+                let q = p.clone();
+                DynIter::IdxNest(DynIdx::new(idx.len, move |i| {
+                    let x = (idx.get)(i);
+                    let keep = q(&x);
+                    DynIter::StepFlat(Box::new(if keep { Some(x) } else { None }.into_iter()))
+                }))
+            }
+            DynIter::StepFlat(s) => {
+                let q = p.clone();
+                DynIter::StepFlat(Box::new(s.filter(move |x| q(x))))
+            }
+            DynIter::IdxNest(idx) => {
+                let q = p.clone();
+                DynIter::IdxNest(DynIdx::new(idx.len, move |i| (idx.get)(i).filter(q.clone())))
+            }
+            DynIter::StepNest(s) => {
+                let q = p.clone();
+                DynIter::StepNest(Box::new(s.map(move |inner| inner.filter(q.clone()))))
+            }
+        }
+    }
+
+    /// `concatMap` — Figure 2: flat indexers nest; flat steppers become
+    /// stepper nests; nested shapes recurse.
+    pub fn concat_map<U: 'static>(
+        self,
+        f: std::rc::Rc<dyn Fn(T) -> DynIter<U>>,
+    ) -> DynIter<U> {
+        match self {
+            DynIter::IdxFlat(idx) => {
+                let g = f.clone();
+                DynIter::IdxNest(DynIdx::new(idx.len, move |i| g((idx.get)(i))))
+            }
+            DynIter::StepFlat(s) => {
+                let g = f.clone();
+                DynIter::StepNest(Box::new(s.map(move |x| g(x))))
+            }
+            DynIter::IdxNest(idx) => {
+                let g = f.clone();
+                DynIter::IdxNest(DynIdx::new(idx.len, move |i| {
+                    (idx.get)(i).concat_map(g.clone())
+                }))
+            }
+            DynIter::StepNest(s) => {
+                let g = f.clone();
+                DynIter::StepNest(Box::new(s.map(move |inner| inner.concat_map(g.clone()))))
+            }
+        }
+    }
+
+    /// `toStep` — convert any constructor to a flat stepper (loses
+    /// parallelism, keeps the element sequence).
+    pub fn into_step(self) -> DynStep<T> {
+        match self {
+            DynIter::IdxFlat(idx) => {
+                let mut i = 0usize;
+                Box::new(std::iter::from_fn(move || {
+                    if i < idx.len {
+                        let x = (idx.get)(i);
+                        i += 1;
+                        Some(x)
+                    } else {
+                        None
+                    }
+                }))
+            }
+            DynIter::StepFlat(s) => s,
+            DynIter::IdxNest(idx) => {
+                let mut i = 0usize;
+                let mut cur: Option<DynStep<T>> = None;
+                Box::new(std::iter::from_fn(move || loop {
+                    if let Some(s) = cur.as_mut() {
+                        if let Some(x) = s.next() {
+                            return Some(x);
+                        }
+                        cur = None;
+                    }
+                    if i >= idx.len {
+                        return None;
+                    }
+                    cur = Some((idx.get)(i).into_step());
+                    i += 1;
+                }))
+            }
+            DynIter::StepNest(mut s) => {
+                let mut cur: Option<DynStep<T>> = None;
+                Box::new(std::iter::from_fn(move || loop {
+                    if let Some(inner) = cur.as_mut() {
+                        if let Some(x) = inner.next() {
+                            return Some(x);
+                        }
+                        cur = None;
+                    }
+                    cur = Some(s.next()?.into_step());
+                }))
+            }
+        }
+    }
+
+    /// Fold every element (turns every nesting level into a loop).
+    pub fn fold<B>(self, init: B, f: &mut dyn FnMut(B, T) -> B) -> B {
+        match self {
+            DynIter::IdxFlat(idx) => {
+                let mut acc = init;
+                for i in 0..idx.len {
+                    acc = f(acc, (idx.get)(i));
+                }
+                acc
+            }
+            DynIter::StepFlat(s) => {
+                let mut acc = init;
+                for x in s {
+                    acc = f(acc, x);
+                }
+                acc
+            }
+            DynIter::IdxNest(idx) => {
+                let mut acc = init;
+                for i in 0..idx.len {
+                    acc = (idx.get)(i).fold(acc, f);
+                }
+                acc
+            }
+            DynIter::StepNest(s) => {
+                let mut acc = init;
+                for inner in s {
+                    acc = inner.fold(acc, f);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Collect all elements.
+    pub fn collect_vec(self) -> Vec<T> {
+        self.fold(Vec::new(), &mut |mut v, x| {
+            v.push(x);
+            v
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn nums(n: i64) -> DynIter<i64> {
+        DynIter::from_vec((0..n).collect())
+    }
+
+    #[test]
+    fn figure2_shape_rules() {
+        // map preserves shape.
+        let m = nums(5).map(Rc::new(|x| x * 2));
+        assert_eq!(m.constructor(), "IdxFlat");
+        // filter on a flat indexer yields IdxNest (still partitionable!).
+        let f = nums(5).filter(Rc::new(|x: &i64| x % 2 == 0));
+        assert_eq!(f.constructor(), "IdxNest");
+        assert!(f.outer_parallelizable());
+        // concat_map on a flat stepper yields StepNest (sequential).
+        let s = DynIter::from_step(0..5i64)
+            .concat_map(Rc::new(|x| DynIter::from_step(0..x)));
+        assert_eq!(s.constructor(), "StepNest");
+        assert!(!s.outer_parallelizable());
+        // filter of filter stays IdxNest: irregularity never escapes the
+        // inner level.
+        let ff = nums(10)
+            .filter(Rc::new(|x: &i64| x % 2 == 0))
+            .filter(Rc::new(|x: &i64| x % 3 == 0));
+        assert_eq!(ff.constructor(), "IdxNest");
+    }
+
+    #[test]
+    fn dyn_pipeline_matches_reference() {
+        let got = nums(50)
+            .map(Rc::new(|x| x * 3))
+            .filter(Rc::new(|x: &i64| x % 2 == 0))
+            .concat_map(Rc::new(|x| DynIter::from_step(0..x % 5)))
+            .collect_vec();
+        let expect: Vec<i64> = (0..50)
+            .map(|x| x * 3)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| 0..x % 5)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn into_step_flattens_all_constructors() {
+        let nested = nums(4).concat_map(Rc::new(|x| DynIter::from_vec(vec![x; x as usize])));
+        assert_eq!(nested.constructor(), "IdxNest");
+        let flat: Vec<i64> = nested.into_step().collect();
+        assert_eq!(flat, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn fold_and_step_agree() {
+        let a = nums(30)
+            .filter(Rc::new(|x: &i64| x % 4 != 0))
+            .fold(0i64, &mut |acc, x| acc + x);
+        let b: i64 = nums(30).filter(Rc::new(|x: &i64| x % 4 != 0)).into_step().sum();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn agrees_with_static_shapes() {
+        // The runtime-dispatched encoding computes exactly what the
+        // monomorphized encoding computes.
+        use crate::prelude::*;
+        use crate::StepFlat;
+        let via_static = from_vec((0..100i64).collect::<Vec<i64>>())
+            .map(|x: i64| x + 1)
+            .filter(|x: &i64| x % 3 == 0)
+            .concat_map(|x: i64| StepFlat::new(0..x % 4))
+            .collect_vec();
+        let via_dyn = DynIter::from_vec((0..100i64).collect::<Vec<i64>>())
+            .map(Rc::new(|x| x + 1))
+            .filter(Rc::new(|x: &i64| x % 3 == 0))
+            .concat_map(Rc::new(|x| DynIter::from_step(0..x % 4)))
+            .collect_vec();
+        assert_eq!(via_static, via_dyn);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(DynIter::<i64>::from_vec(vec![]).collect_vec().is_empty());
+        let e = DynIter::from_vec(Vec::<i64>::new()).filter(Rc::new(|_: &i64| true));
+        assert!(e.collect_vec().is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! The fold encoding and the conversion lattice of the paper's Figure 1.
+//!
+//! A fold encodes a collection as "a function that folds over its elements
+//! in some predetermined order" (§3.1). Folds handle nested traversals well
+//! (the inner fold inlines into the outer worker) but surrender all control
+//! over execution order, ruling out zip and parallelism. Triolet keeps folds
+//! as the *consuming* side of iterators; this module exposes the encoding
+//! directly so the Figure 1 capability matrix and its "slow" cell (stepper
+//! nested traversal) can be demonstrated and benchmarked in isolation.
+//!
+//! The conversion direction is one-way: indexer → stepper → fold/collector.
+//! "A higher-control encoding can be converted to a lower-control one."
+
+use triolet_domain::{Domain, Part};
+
+use crate::collector::Collector;
+use crate::indexer::Indexer;
+
+/// The boxed traversal driving a [`FoldEnc`]: it calls the worker once per
+/// element.
+pub type FoldRun<T> = Box<dyn FnOnce(&mut dyn FnMut(T))>;
+
+/// A collection in fold encoding: calling it folds a worker over every
+/// element. `FoldEnc<T>` is the paper's `λw z → …` value.
+pub struct FoldEnc<T> {
+    run: FoldRun<T>,
+}
+
+impl<T: 'static> FoldEnc<T> {
+    /// Wrap a traversal function.
+    pub fn new(run: impl FnOnce(&mut dyn FnMut(T)) + 'static) -> Self {
+        FoldEnc { run: Box::new(run) }
+    }
+
+    /// The paper's `idxToFold`: loop over a domain part, calling the worker
+    /// on each looked-up element.
+    pub fn from_indexer<I>(idx: I, part: <I::Dom as Domain>::Part) -> Self
+    where
+        I: Indexer<Out = T> + 'static,
+    {
+        FoldEnc::new(move |w| {
+            for k in 0..part.count() {
+                w(idx.get(part.index_at(k)));
+            }
+        })
+    }
+
+    /// A stepper converted to a fold (drain the coroutine).
+    pub fn from_stepper<S>(s: S) -> Self
+    where
+        S: Iterator<Item = T> + 'static,
+    {
+        FoldEnc::new(move |w| {
+            for x in s {
+                w(x);
+            }
+        })
+    }
+
+    /// Nested fold: fold over outer elements, each of which is itself a
+    /// fold. This is the case where folds beat steppers — the inner loop
+    /// inlines directly into the outer worker.
+    pub fn nested(outer: FoldEnc<FoldEnc<T>>) -> Self {
+        FoldEnc::new(move |w| {
+            outer.fold((), |(), inner| inner.run_with(w));
+        })
+    }
+
+    /// Drive the fold with an accumulator.
+    pub fn fold<B>(self, init: B, mut f: impl FnMut(B, T) -> B) -> B {
+        let mut acc = Some(init);
+        (self.run)(&mut |x| {
+            let a = acc.take().expect("accumulator present");
+            acc = Some(f(a, x));
+        });
+        acc.expect("accumulator present")
+    }
+
+    /// Drive the fold into a borrowed worker.
+    pub fn run_with(self, w: &mut dyn FnMut(T)) {
+        (self.run)(w)
+    }
+
+    /// The paper's `idxToColl` composed with a fold: drain into a collector.
+    /// "However, this conversion removes the potential for parallelization."
+    pub fn into_collector<C: Collector<Item = T>>(self, mut c: C) -> C {
+        (self.run)(&mut |x| c.feed(x));
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{CountHist, Collector};
+    use crate::indexer::ArrayIdx;
+    use triolet_domain::{Domain, Seq, SeqPart};
+
+    #[test]
+    fn fold_from_indexer_sums() {
+        let idx = ArrayIdx::new(vec![1u64, 2, 3]);
+        let part = Seq::new(3).whole_part();
+        let f = FoldEnc::from_indexer(idx, part);
+        assert_eq!(f.fold(0u64, |a, x| a + x), 6);
+    }
+
+    #[test]
+    fn fold_respects_part() {
+        let idx = ArrayIdx::new((0..10u64).collect());
+        let f = FoldEnc::from_indexer(idx, SeqPart::new(2, 3));
+        assert_eq!(f.fold(Vec::new(), |mut v, x| { v.push(x); v }), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn fold_from_stepper() {
+        let f = FoldEnc::from_stepper((1..=4).filter(|x| x % 2 == 0));
+        assert_eq!(f.fold(0, |a, x| a + x), 6);
+    }
+
+    #[test]
+    fn nested_fold_flattens() {
+        // [[0],[0,1],[0,1,2]] as folds of folds.
+        let outer = FoldEnc::new(move |w: &mut dyn FnMut(FoldEnc<u64>)| {
+            for n in 1..=3u64 {
+                w(FoldEnc::from_stepper(0..n));
+            }
+        });
+        let flat = FoldEnc::nested(outer);
+        assert_eq!(flat.fold(Vec::new(), |mut v, x| { v.push(x); v }), vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fold_into_collector_histogram() {
+        let f = FoldEnc::from_stepper(vec![0usize, 1, 1, 2].into_iter());
+        let h = f.into_collector(CountHist::new(3));
+        assert_eq!(h.finish(), vec![1, 2, 1]);
+    }
+}

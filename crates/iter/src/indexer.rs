@@ -1,0 +1,659 @@
+//! The indexer encoding: random-access virtual data structures.
+//!
+//! An indexer is the paper's `(domain, lookup-function)` pair (§3.1), with
+//! the §3.5 refinement that the lookup function is split into a *data source*
+//! (the arrays it reads — potentially large, shipped over the wire) and an
+//! *extractor* (code — free to ship). The [`Indexer::slice`] method builds a
+//! new indexer whose data source holds only the elements a
+//! [`Part`](triolet_domain::Part) touches; distributed skeletons use it to
+//! send each node exactly the data its tasks read, with no compile-time
+//! array-reference analysis.
+
+use std::ops::Index;
+use std::sync::Arc;
+
+use triolet_domain::{Dim2, Dim2Part, Domain, Seq, SeqPart};
+use triolet_serial::{packed, unpack_all, Wire};
+
+/// Random-access virtual collection over a [`Domain`].
+///
+/// Cloning an indexer is cheap (data sources are reference-counted); slicing
+/// copies out only the addressed window. `source_size` and
+/// `roundtrip_source` exist for the distributed engine: the former is the
+/// number of bytes this indexer's data occupies on the wire, the latter
+/// actually pushes the data through pack/unpack — the moment at which, in a
+/// real cluster, the bytes would cross the network.
+pub trait Indexer: Clone + Send + Sync + 'static {
+    /// The iteration space.
+    type Dom: Domain;
+    /// Element produced per index point.
+    type Out;
+
+    /// The domain this indexer answers.
+    fn domain(&self) -> Self::Dom;
+
+    /// Retrieve the element at `idx`. Indices use *global* coordinates even
+    /// after slicing: a sliced indexer answers exactly the indices inside its
+    /// part and must not be asked about others.
+    fn get(&self, idx: <Self::Dom as Domain>::Index) -> Self::Out;
+
+    /// Extract an indexer owning only the data `part` touches (paper §3.5).
+    fn slice(&self, part: &<Self::Dom as Domain>::Part) -> Self;
+
+    /// Packed byte size of the data sources (what the wire would carry).
+    fn source_size(&self) -> usize;
+
+    /// Push every data source through pack/unpack, yielding an equivalent
+    /// indexer whose data provably survived serialization. The distributed
+    /// engine calls this on the slice it ships to a node.
+    fn roundtrip_source(self) -> Self;
+}
+
+// ---------------------------------------------------------------------------
+// ArrayIdx: a 1-D array as an indexer
+// ---------------------------------------------------------------------------
+
+/// A one-dimensional array viewed as an indexer: the workhorse data source.
+///
+/// Holds the backing data behind an [`Arc`]; `base` is the global index of
+/// `data[0]`, so a sliced `ArrayIdx` still answers global indices.
+pub struct ArrayIdx<T> {
+    data: Arc<Vec<T>>,
+    base: usize,
+    dom: Seq,
+}
+
+impl<T> Clone for ArrayIdx<T> {
+    fn clone(&self) -> Self {
+        ArrayIdx { data: Arc::clone(&self.data), base: self.base, dom: self.dom }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> ArrayIdx<T> {
+    /// Wrap an owned vector; the domain is its full length.
+    pub fn new(data: Vec<T>) -> Self {
+        let dom = Seq::new(data.len());
+        ArrayIdx { data: Arc::new(data), base: 0, dom }
+    }
+
+    /// Wrap an already shared vector without copying.
+    pub fn from_arc(data: Arc<Vec<T>>) -> Self {
+        let dom = Seq::new(data.len());
+        ArrayIdx { data, base: 0, dom }
+    }
+
+    /// Global index of the first locally held element.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Locally held elements (the current window).
+    pub fn local_data(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Wire + Clone + Send + Sync + 'static> Indexer for ArrayIdx<T> {
+    type Dom = Seq;
+    type Out = T;
+
+    fn domain(&self) -> Seq {
+        self.dom
+    }
+
+    fn get(&self, idx: usize) -> T {
+        debug_assert!(
+            idx >= self.base && idx - self.base < self.data.len(),
+            "index {idx} outside held window [{}, {})",
+            self.base,
+            self.base + self.data.len()
+        );
+        self.data[idx - self.base].clone()
+    }
+
+    fn slice(&self, part: &SeqPart) -> Self {
+        debug_assert!(part.start >= self.base && part.end() <= self.base + self.data.len());
+        let lo = part.start - self.base;
+        let window = self.data[lo..lo + part.len].to_vec();
+        ArrayIdx { data: Arc::new(window), base: part.start, dom: self.dom }
+    }
+
+    fn source_size(&self) -> usize {
+        T::slice_packed_size(&self.data) + self.base.packed_size() + self.dom.packed_size()
+    }
+
+    fn roundtrip_source(self) -> Self {
+        let bytes = packed(&*self.data);
+        let data: Vec<T> = unpack_all(bytes).expect("pack/unpack of own data cannot fail");
+        ArrayIdx { data: Arc::new(data), base: self.base, dom: self.dom }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RowsIdx: a row-major 2-D array as a 1-D indexer of rows
+// ---------------------------------------------------------------------------
+
+/// A cheap, shareable view of one array row; what the paper's `rows`
+/// function yields per element.
+pub struct RowRef<T> {
+    data: Arc<Vec<T>>,
+    offset: usize,
+    len: usize,
+}
+
+impl<T> Clone for RowRef<T> {
+    fn clone(&self) -> Self {
+        RowRef { data: Arc::clone(&self.data), offset: self.offset, len: self.len }
+    }
+}
+
+impl<T> RowRef<T> {
+    /// Number of elements in the row.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the row has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The row's elements as a contiguous slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+}
+
+impl<T> Index<usize> for RowRef<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.as_slice()[i]
+    }
+}
+
+/// A row-major matrix exposed as a `Seq` indexer whose elements are rows —
+/// the paper's `rows(A)` (§2): "reinterpret the two-dimensional arrays as
+/// one-dimensional iterators over array rows".
+///
+/// Slicing by a row range copies out only those rows, which is what makes the
+/// two-line sgemm block decomposition send each node only the rows it needs.
+pub struct RowsIdx<T> {
+    data: Arc<Vec<T>>,
+    base_row: usize,
+    cols: usize,
+    dom: Seq,
+}
+
+impl<T> Clone for RowsIdx<T> {
+    fn clone(&self) -> Self {
+        RowsIdx {
+            data: Arc::clone(&self.data),
+            base_row: self.base_row,
+            cols: self.cols,
+            dom: self.dom,
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> RowsIdx<T> {
+    /// View `data` (row-major, `rows * cols` elements) as `rows` rows.
+    pub fn new(data: Arc<Vec<T>>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data must fill the matrix");
+        RowsIdx { data, base_row: 0, cols, dom: Seq::new(rows) }
+    }
+
+    /// Row length.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+impl<T: Wire + Clone + Send + Sync + 'static> Indexer for RowsIdx<T> {
+    type Dom = Seq;
+    type Out = RowRef<T>;
+
+    fn domain(&self) -> Seq {
+        self.dom
+    }
+
+    fn get(&self, row: usize) -> RowRef<T> {
+        debug_assert!(row >= self.base_row && (row - self.base_row + 1) * self.cols <= self.data.len());
+        RowRef {
+            data: Arc::clone(&self.data),
+            offset: (row - self.base_row) * self.cols,
+            len: self.cols,
+        }
+    }
+
+    fn slice(&self, part: &SeqPart) -> Self {
+        debug_assert!(part.start >= self.base_row);
+        let lo = (part.start - self.base_row) * self.cols;
+        let window = self.data[lo..lo + part.len * self.cols].to_vec();
+        RowsIdx { data: Arc::new(window), base_row: part.start, cols: self.cols, dom: self.dom }
+    }
+
+    fn source_size(&self) -> usize {
+        T::slice_packed_size(&self.data) + 24 // base_row + cols + dom
+    }
+
+    fn roundtrip_source(self) -> Self {
+        let bytes = packed(&*self.data);
+        let data: Vec<T> = unpack_all(bytes).expect("pack/unpack of own data cannot fail");
+        RowsIdx { data: Arc::new(data), base_row: self.base_row, cols: self.cols, dom: self.dom }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RangeIdx: a domain's own indices as elements
+// ---------------------------------------------------------------------------
+
+/// The identity indexer: element at index `i` is `i` itself. No data source,
+/// so slicing is free — the paper's `indices(domain(...))` idiom.
+#[derive(Clone)]
+pub struct RangeIdx<D: Domain> {
+    dom: D,
+}
+
+impl<D: Domain> RangeIdx<D> {
+    /// Indexer over all indices of `dom`.
+    pub fn new(dom: D) -> Self {
+        RangeIdx { dom }
+    }
+}
+
+impl<D: Domain> Indexer for RangeIdx<D> {
+    type Dom = D;
+    type Out = D::Index;
+
+    fn domain(&self) -> D {
+        self.dom.clone()
+    }
+
+    fn get(&self, idx: D::Index) -> D::Index {
+        idx
+    }
+
+    fn slice(&self, _part: &D::Part) -> Self {
+        self.clone()
+    }
+
+    fn source_size(&self) -> usize {
+        self.dom.packed_size()
+    }
+
+    fn roundtrip_source(self) -> Self {
+        let dom: D = unpack_all(packed(&self.dom)).expect("domain roundtrip");
+        RangeIdx { dom }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FnIdx: an arbitrary computed indexer (pure code, no shippable data)
+// ---------------------------------------------------------------------------
+
+/// An indexer computed by a function of the index. It carries no data source
+/// (captured state rides with the code), so `slice` is the identity — used
+/// for computed collections such as transpose views and stencil neighbour
+/// generators.
+#[derive(Clone)]
+pub struct FnIdx<D: Domain, F> {
+    dom: D,
+    f: F,
+}
+
+impl<D: Domain, F> FnIdx<D, F> {
+    /// Indexer whose element at `i` is `f(i)`.
+    pub fn new(dom: D, f: F) -> Self {
+        FnIdx { dom, f }
+    }
+}
+
+impl<D, F, O> Indexer for FnIdx<D, F>
+where
+    D: Domain,
+    F: Fn(D::Index) -> O + Clone + Send + Sync + 'static,
+{
+    type Dom = D;
+    type Out = O;
+
+    fn domain(&self) -> D {
+        self.dom.clone()
+    }
+
+    fn get(&self, idx: D::Index) -> O {
+        (self.f)(idx)
+    }
+
+    fn slice(&self, _part: &D::Part) -> Self {
+        self.clone()
+    }
+
+    fn source_size(&self) -> usize {
+        self.dom.packed_size()
+    }
+
+    fn roundtrip_source(self) -> Self {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MapIdx: the fused map
+// ---------------------------------------------------------------------------
+
+/// `map` over an indexer: the new lookup calls the old lookup then `f`
+/// (the paper's `mapIdx`). Slicing passes through to the inner indexer; the
+/// mapping function is code and ships for free.
+#[derive(Clone)]
+pub struct MapIdx<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F> MapIdx<I, F> {
+    /// Map `f` over `inner`.
+    pub fn new(inner: I, f: F) -> Self {
+        MapIdx { inner, f }
+    }
+}
+
+impl<I, F> Indexer for MapIdx<I, F>
+where
+    I: Indexer,
+    F: crate::stepper::ElemFn<I::Out>,
+{
+    type Dom = I::Dom;
+    type Out = F::Out;
+
+    fn domain(&self) -> I::Dom {
+        self.inner.domain()
+    }
+
+    fn get(&self, idx: <I::Dom as Domain>::Index) -> F::Out {
+        self.f.call(self.inner.get(idx))
+    }
+
+    fn slice(&self, part: &<I::Dom as Domain>::Part) -> Self {
+        MapIdx { inner: self.inner.slice(part), f: self.f.clone() }
+    }
+
+    fn source_size(&self) -> usize {
+        self.inner.source_size()
+    }
+
+    fn roundtrip_source(self) -> Self {
+        MapIdx { inner: self.inner.roundtrip_source(), f: self.f }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ZipIdx / Zip3Idx: index-aligned pairing
+// ---------------------------------------------------------------------------
+
+/// `zip` of two indexers over the same domain shape: element `i` is
+/// `(a[i], b[i])`, over the intersection of the two domains (the paper's
+/// `zipIdx`). Both sources are sliced together — "data sources may involve
+/// multiple arrays … without requiring a step of data copying and
+/// reorganization" (§3.5).
+#[derive(Clone)]
+pub struct ZipIdx<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ZipIdx<A, B> {
+    /// Pair `a` and `b` elementwise.
+    pub fn new(a: A, b: B) -> Self {
+        ZipIdx { a, b }
+    }
+}
+
+impl<A, B> Indexer for ZipIdx<A, B>
+where
+    A: Indexer,
+    B: Indexer<Dom = A::Dom>,
+{
+    type Dom = A::Dom;
+    type Out = (A::Out, B::Out);
+
+    fn domain(&self) -> A::Dom {
+        self.a.domain().intersect(&self.b.domain())
+    }
+
+    fn get(&self, idx: <A::Dom as Domain>::Index) -> (A::Out, B::Out) {
+        (self.a.get(idx), self.b.get(idx))
+    }
+
+    fn slice(&self, part: &<A::Dom as Domain>::Part) -> Self {
+        ZipIdx { a: self.a.slice(part), b: self.b.slice(part) }
+    }
+
+    fn source_size(&self) -> usize {
+        self.a.source_size() + self.b.source_size()
+    }
+
+    fn roundtrip_source(self) -> Self {
+        ZipIdx { a: self.a.roundtrip_source(), b: self.b.roundtrip_source() }
+    }
+}
+
+/// Three-way [`ZipIdx`] (the paper's mri-q uses `zip3(x, y, z)`).
+#[derive(Clone)]
+pub struct Zip3Idx<A, B, C> {
+    a: A,
+    b: B,
+    c: C,
+}
+
+impl<A, B, C> Zip3Idx<A, B, C> {
+    /// Triple `a`, `b` and `c` elementwise.
+    pub fn new(a: A, b: B, c: C) -> Self {
+        Zip3Idx { a, b, c }
+    }
+}
+
+impl<A, B, C> Indexer for Zip3Idx<A, B, C>
+where
+    A: Indexer,
+    B: Indexer<Dom = A::Dom>,
+    C: Indexer<Dom = A::Dom>,
+{
+    type Dom = A::Dom;
+    type Out = (A::Out, B::Out, C::Out);
+
+    fn domain(&self) -> A::Dom {
+        self.a.domain().intersect(&self.b.domain()).intersect(&self.c.domain())
+    }
+
+    fn get(&self, idx: <A::Dom as Domain>::Index) -> (A::Out, B::Out, C::Out) {
+        (self.a.get(idx), self.b.get(idx), self.c.get(idx))
+    }
+
+    fn slice(&self, part: &<A::Dom as Domain>::Part) -> Self {
+        Zip3Idx { a: self.a.slice(part), b: self.b.slice(part), c: self.c.slice(part) }
+    }
+
+    fn source_size(&self) -> usize {
+        self.a.source_size() + self.b.source_size() + self.c.source_size()
+    }
+
+    fn roundtrip_source(self) -> Self {
+        Zip3Idx {
+            a: self.a.roundtrip_source(),
+            b: self.b.roundtrip_source(),
+            c: self.c.roundtrip_source(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OuterProductIdx: the 2-D cross of two 1-D indexers
+// ---------------------------------------------------------------------------
+
+/// The paper's `outerproduct(a, b)` (§2): a 2-D indexer whose element at
+/// `(r, c)` is `(a[r], b[c])`.
+///
+/// Slicing by a 2-D block extracts the `a`-range covering the block's rows
+/// and the `b`-range covering its columns — so a node computing one output
+/// block of a matrix product receives only the `A` rows and `B^T` rows it
+/// needs. This is the two-line sgemm decomposition.
+#[derive(Clone)]
+pub struct OuterProductIdx<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> OuterProductIdx<A, B> {
+    /// Cross `a` (rows) with `b` (columns).
+    pub fn new(a: A, b: B) -> Self {
+        OuterProductIdx { a, b }
+    }
+}
+
+impl<A, B> Indexer for OuterProductIdx<A, B>
+where
+    A: Indexer<Dom = Seq>,
+    B: Indexer<Dom = Seq>,
+{
+    type Dom = Dim2;
+    type Out = (A::Out, B::Out);
+
+    fn domain(&self) -> Dim2 {
+        Dim2::new(self.a.domain().len(), self.b.domain().len())
+    }
+
+    fn get(&self, (r, c): (usize, usize)) -> (A::Out, B::Out) {
+        (self.a.get(r), self.b.get(c))
+    }
+
+    fn slice(&self, part: &Dim2Part) -> Self {
+        OuterProductIdx {
+            a: self.a.slice(&SeqPart::new(part.row0, part.rows)),
+            b: self.b.slice(&SeqPart::new(part.col0, part.cols)),
+        }
+    }
+
+    fn source_size(&self) -> usize {
+        self.a.source_size() + self.b.source_size()
+    }
+
+    fn roundtrip_source(self) -> Self {
+        OuterProductIdx { a: self.a.roundtrip_source(), b: self.b.roundtrip_source() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triolet_domain::Dim2;
+
+    #[test]
+    fn array_idx_global_indexing_after_slice() {
+        let idx = ArrayIdx::new((0..100i64).collect());
+        let part = SeqPart::new(40, 10);
+        let sub = idx.slice(&part);
+        assert_eq!(sub.base(), 40);
+        assert_eq!(sub.local_data().len(), 10);
+        for i in 40..50 {
+            assert_eq!(sub.get(i), i as i64, "sliced indexer answers global indices");
+        }
+    }
+
+    #[test]
+    fn array_idx_roundtrip_preserves_data() {
+        let idx = ArrayIdx::new(vec![1.5f32, 2.5, 3.5]).roundtrip_source();
+        assert_eq!(idx.get(1), 2.5);
+        assert_eq!(idx.domain(), Seq::new(3));
+    }
+
+    #[test]
+    fn slice_of_slice_composes() {
+        let idx = ArrayIdx::new((0..1000u32).collect());
+        let sub = idx.slice(&SeqPart::new(100, 500));
+        let subsub = sub.slice(&SeqPart::new(300, 50));
+        for i in 300..350 {
+            assert_eq!(subsub.get(i), i as u32);
+        }
+        assert_eq!(subsub.local_data().len(), 50, "only the window is held");
+    }
+
+    #[test]
+    fn source_size_shrinks_with_slice() {
+        let idx = ArrayIdx::new(vec![0f64; 1000]);
+        let sub = idx.slice(&SeqPart::new(0, 10));
+        assert!(sub.source_size() < idx.source_size() / 50);
+    }
+
+    #[test]
+    fn rows_idx_yields_rows() {
+        // 3x4 matrix 0..12.
+        let m = RowsIdx::new(Arc::new((0..12i32).collect()), 3, 4);
+        assert_eq!(m.domain(), Seq::new(3));
+        assert_eq!(m.get(1).as_slice(), &[4, 5, 6, 7]);
+        assert_eq!(m.get(2)[3], 11);
+    }
+
+    #[test]
+    fn rows_idx_slice_holds_only_rows() {
+        let m = RowsIdx::new(Arc::new((0..20i32).collect()), 5, 4);
+        let sub = m.slice(&SeqPart::new(2, 2));
+        assert_eq!(sub.get(2).as_slice(), &[8, 9, 10, 11]);
+        assert_eq!(sub.get(3).as_slice(), &[12, 13, 14, 15]);
+        // Data footprint: exactly 2 rows of 4 i32 plus small headers.
+        assert_eq!(sub.source_size(), 8 + 8 * 4 + 24);
+    }
+
+    #[test]
+    fn map_idx_composes_and_slices() {
+        let idx = MapIdx::new(ArrayIdx::new((0..10i64).collect()), |x: i64| x * x);
+        assert_eq!(idx.get(3), 9);
+        let sub = idx.slice(&SeqPart::new(5, 5));
+        assert_eq!(sub.get(7), 49);
+    }
+
+    #[test]
+    fn zip_idx_intersects_domains() {
+        let a = ArrayIdx::new(vec![1u32, 2, 3, 4, 5]);
+        let b = ArrayIdx::new(vec![10u32, 20, 30]);
+        let z = ZipIdx::new(a, b);
+        assert_eq!(z.domain(), Seq::new(3));
+        assert_eq!(z.get(2), (3, 30));
+    }
+
+    #[test]
+    fn zip3_idx() {
+        let a = ArrayIdx::new(vec![1f32, 2.0]);
+        let b = ArrayIdx::new(vec![3f32, 4.0]);
+        let c = ArrayIdx::new(vec![5f32, 6.0]);
+        let z = Zip3Idx::new(a, b, c);
+        assert_eq!(z.get(1), (2.0, 4.0, 6.0));
+        assert_eq!(z.roundtrip_source().get(0), (1.0, 3.0, 5.0));
+    }
+
+    #[test]
+    fn outerproduct_block_slice_extracts_both_ranges() {
+        // 4x4 outer product of rows 0..4 and cols 0..4.
+        let a = ArrayIdx::new((0..4i64).collect());
+        let b = ArrayIdx::new((10..14i64).collect());
+        let op = OuterProductIdx::new(a, b);
+        assert_eq!(op.domain(), Dim2::new(4, 4));
+        let block = Dim2Part::new(1, 2, 2, 2);
+        let sub = op.slice(&block);
+        // The block covers rows {1,2} and cols {2,3}.
+        assert_eq!(sub.get((1, 2)), (1, 12));
+        assert_eq!(sub.get((2, 3)), (2, 13));
+        // Sliced footprint is 4 elements instead of 8.
+        assert!(sub.source_size() < op.source_size());
+    }
+
+    #[test]
+    fn fn_idx_and_range_idx() {
+        let sq = FnIdx::new(Seq::new(5), |i: usize| i * i);
+        assert_eq!(sq.get(4), 16);
+        let r = RangeIdx::new(Dim2::new(2, 2));
+        assert_eq!(r.get((1, 0)), (1, 0));
+        // Slicing data-free indexers is identity.
+        let sub = sq.slice(&SeqPart::new(2, 2));
+        assert_eq!(sub.get(3), 9);
+    }
+}

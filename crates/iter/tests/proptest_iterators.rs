@@ -1,0 +1,164 @@
+//! Property tests on the hybrid iterator laws: for arbitrary inputs and
+//! pipeline parameters, every composition must agree with the reference
+//! `std::iter` semantics, every shape conversion must preserve the element
+//! sequence, and slicing must partition exactly.
+
+use proptest::prelude::*;
+use triolet_domain::{Domain, Part, Seq};
+use triolet_iter::prelude::*;
+use triolet_iter::sources::zip_seq;
+use triolet_iter::StepFlat;
+
+proptest! {
+    #[test]
+    fn map_law(xs in proptest::collection::vec(any::<i64>(), 0..300), k in -5i64..5) {
+        let expect: Vec<i64> = xs.iter().map(|&x| x.wrapping_mul(k)).collect();
+        let got = from_vec(xs).map(move |x: i64| x.wrapping_mul(k)).collect_vec();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn filter_law(xs in proptest::collection::vec(any::<i64>(), 0..300), m in 1i64..10) {
+        let expect: Vec<i64> = xs.iter().copied().filter(|x| x.rem_euclid(m) == 0).collect();
+        let got = from_vec(xs).filter(move |x: &i64| x.rem_euclid(m) == 0).collect_vec();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn concat_map_law(xs in proptest::collection::vec(0i64..20, 0..100)) {
+        let expect: Vec<i64> = xs.iter().flat_map(|&x| (0..x).map(move |y| x + y)).collect();
+        let got = from_vec(xs)
+            .concat_map(|x: i64| StepFlat::new((0..x).map(move |y| x + y)))
+            .collect_vec();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn map_filter_compose(
+        xs in proptest::collection::vec(any::<i32>(), 0..300),
+        add in any::<i32>(),
+        m in 1i32..7,
+    ) {
+        let expect: Vec<i32> = xs
+            .iter()
+            .map(|&x| x.wrapping_add(add))
+            .filter(|v| v.rem_euclid(m) == 0)
+            .collect();
+        let got = from_vec(xs)
+            .map(move |x: i32| x.wrapping_add(add))
+            .filter(move |v: &i32| v.rem_euclid(m) == 0)
+            .collect_vec();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn into_step_equals_fold_order(xs in proptest::collection::vec(0i64..15, 0..80)) {
+        let it1 = from_vec(xs.clone())
+            .concat_map(|x: i64| StepFlat::new(0..x))
+            .filter(|v: &i64| v % 2 == 0);
+        let it2 = from_vec(xs)
+            .concat_map(|x: i64| StepFlat::new(0..x))
+            .filter(|v: &i64| v % 2 == 0);
+        let via_fold = it1.collect_vec();
+        let via_step: Vec<i64> = it2.into_step().collect();
+        prop_assert_eq!(via_fold, via_step);
+    }
+
+    #[test]
+    fn zip_law(
+        xs in proptest::collection::vec(any::<u32>(), 0..200),
+        ys in proptest::collection::vec(any::<u32>(), 0..200),
+    ) {
+        let expect: Vec<(u32, u32)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+        let got = zip(from_vec(xs), from_vec(ys)).collect_vec();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn zip_seq_law_on_irregular(
+        xs in proptest::collection::vec(any::<u16>(), 0..150),
+        m in 1u16..5,
+    ) {
+        let filtered: Vec<u16> = xs.iter().copied().filter(|x| x % m == 0).collect();
+        let expect: Vec<(u16, usize)> =
+            filtered.iter().copied().zip(0..xs.len()).collect();
+        let got = zip_seq(
+            from_vec(xs.clone()).filter(move |x: &u16| x.is_multiple_of(m)),
+            range(xs.len()),
+        )
+        .collect_vec();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sliced_folds_partition_exactly(
+        xs in proptest::collection::vec(any::<i64>(), 1..300),
+        parts in 1usize..12,
+        m in 1i64..6,
+    ) {
+        // Slicing the outer loop of an irregular pipeline and folding each
+        // part must concatenate to the unsliced result.
+        let it = from_vec(xs.clone()).filter(move |x: &i64| x.rem_euclid(m) == 0);
+        let whole = from_vec(xs.clone())
+            .filter(move |x: &i64| x.rem_euclid(m) == 0)
+            .collect_vec();
+        let dom = Seq::new(xs.len());
+        let mut got = Vec::new();
+        for p in dom.split_parts(parts) {
+            let sub = it.slice_part(&p);
+            sub.fold_part(&p, (), &mut |(), x| got.push(x));
+        }
+        prop_assert_eq!(got, whole);
+    }
+
+    #[test]
+    fn slice_source_bytes_proportional(
+        len in 10usize..500,
+        parts in 2usize..8,
+    ) {
+        let it = from_vec((0..len as i64).collect::<Vec<i64>>());
+        let dom = Seq::new(len);
+        let total: usize = dom
+            .split_parts(parts)
+            .iter()
+            .map(|p| it.slice_part(p).source_bytes())
+            .sum();
+        // The slices together hold exactly the data once (plus per-slice
+        // headers bounded by 32 bytes each).
+        let full = it.source_bytes();
+        prop_assert!(total <= full + 32 * parts);
+        prop_assert!(total + 32 * parts >= full);
+    }
+
+    #[test]
+    fn count_matches_len_after_roundtrip(xs in proptest::collection::vec(any::<f32>(), 0..200)) {
+        let n = xs.len();
+        let it = from_vec(xs).roundtrip_data();
+        prop_assert_eq!(it.count_items(), n);
+    }
+
+    #[test]
+    fn collectors_agree_with_fold(xs in proptest::collection::vec(0usize..32, 0..300)) {
+        let mut h = triolet_iter::CountHist::new(32);
+        from_vec(xs.clone()).collect_into(&mut h);
+        let mut expect = vec![0u64; 32];
+        for x in xs {
+            expect[x] += 1;
+        }
+        prop_assert_eq!(h.finish(), expect);
+    }
+
+    #[test]
+    fn part_indexing_consistent_with_enumeration(
+        len in 1usize..400,
+        parts in 1usize..10,
+    ) {
+        let dom = Seq::new(len);
+        for p in dom.split_parts(parts) {
+            for k in 0..p.count() {
+                let idx = p.index_at(k);
+                prop_assert!(idx >= p.start && idx < p.end());
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Counting latch + panic collection for structured scopes.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts outstanding tasks of a scope; the scope owner blocks (or steals
+/// work) until the count returns to zero.
+pub(crate) struct CountLatch {
+    count: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    pub fn new() -> Self {
+        CountLatch { count: AtomicUsize::new(0), lock: Mutex::new(()), cond: Condvar::new() }
+    }
+
+    /// Register a new outstanding task.
+    pub fn increment(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Mark one task done, waking the waiter if it was the last.
+    pub fn decrement(&self) {
+        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Whether all tasks have completed.
+    pub fn is_clear(&self) -> bool {
+        self.count.load(Ordering::SeqCst) == 0
+    }
+
+    /// Block the calling (non-worker) thread until the count is zero.
+    pub fn wait_blocking(&self) {
+        let mut guard = self.lock.lock();
+        while self.count.load(Ordering::SeqCst) != 0 {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+/// First panic payload observed among a scope's tasks; re-thrown on the
+/// scope owner's thread so failures are never silently swallowed.
+pub(crate) struct PanicStore {
+    slot: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl PanicStore {
+    pub fn new() -> Self {
+        PanicStore { slot: Mutex::new(None) }
+    }
+
+    pub fn capture(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Re-throw the captured panic, if any.
+    pub fn propagate(&self) {
+        let payload = self.slot.lock().take();
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Data-parallel loops over domain [`Part`]s.
+//!
+//! These are the low-level threaded skeletons the high-level library invokes
+//! for `localpar` iterators (paper §3.4): recursive part splitting down to a
+//! grain size, executed with work stealing, with per-task private
+//! accumulation for reductions.
+
+use parking_lot::Mutex;
+use triolet_domain::Part;
+
+use crate::pool::{Scope, ThreadPool};
+
+/// Default number of leaf tasks per worker thread. Oversubscribing by this
+/// factor gives the stealer enough slack to balance irregular leaves (the
+/// paper's tpacf triangular loops) without measurable scheduling overhead.
+pub const CHUNKS_PER_THREAD: usize = 4;
+
+/// Compute a grain size so `part` splits into roughly
+/// `threads * CHUNKS_PER_THREAD` leaves.
+pub fn default_grain<P: Part>(part: &P, threads: usize) -> usize {
+    (part.count() / (threads.max(1) * CHUNKS_PER_THREAD)).max(1)
+}
+
+/// Run `body` over sub-parts of `part`, splitting recursively until each leaf
+/// holds at most `grain` index points. Leaves execute in parallel with work
+/// stealing.
+pub fn parallel_for_part<P, F>(pool: &ThreadPool, part: P, grain: usize, body: &F)
+where
+    P: Part,
+    F: Fn(&P) + Sync,
+{
+    if part.is_empty() {
+        return;
+    }
+    let grain = grain.max(1);
+    pool.scope(|s| split_for(s, part, grain, body));
+}
+
+fn split_for<'scope, P, F>(s: &Scope<'scope>, part: P, grain: usize, body: &'scope F)
+where
+    P: Part,
+    F: Fn(&P) + Sync,
+{
+    if part.count() <= grain {
+        body(&part);
+        return;
+    }
+    match part.split_half() {
+        Some((a, b)) => {
+            s.spawn(move |s| split_for(s, a, grain, body));
+            split_for(s, b, grain, body);
+        }
+        None => body(&part),
+    }
+}
+
+/// Map each leaf part through `leaf` and merge the results with `merge`.
+///
+/// Each leaf computes a private value (the paper's per-thread private sums
+/// and histograms); merging is done pairwise as leaves finish. Returns `None`
+/// for an empty part.
+pub fn map_reduce_part<P, T, L, M>(
+    pool: &ThreadPool,
+    part: P,
+    grain: usize,
+    leaf: &L,
+    merge: &M,
+) -> Option<T>
+where
+    P: Part,
+    T: Send,
+    L: Fn(&P) -> T + Sync,
+    M: Fn(T, T) -> T + Sync,
+{
+    if part.is_empty() {
+        return None;
+    }
+    let grain = grain.max(1);
+    let acc: Mutex<Option<T>> = Mutex::new(None);
+    pool.scope(|s| split_reduce(s, part, grain, leaf, merge, &acc));
+    acc.into_inner()
+}
+
+fn split_reduce<'scope, P, T, L, M>(
+    s: &Scope<'scope>,
+    part: P,
+    grain: usize,
+    leaf: &'scope L,
+    merge: &'scope M,
+    acc: &'scope Mutex<Option<T>>,
+) where
+    P: Part,
+    T: Send,
+    L: Fn(&P) -> T + Sync,
+    M: Fn(T, T) -> T + Sync,
+{
+    if part.count() <= grain || part.split_half().is_none() {
+        // Merge outside the lock: take the current partial, combine, retry
+        // the insert. Each retry consumes another leaf's contribution, so the
+        // loop is bounded by the number of leaves.
+        let mut to_merge = Some(leaf(&part));
+        while let Some(v) = to_merge.take() {
+            let mut guard = acc.lock();
+            match guard.take() {
+                None => *guard = Some(v),
+                Some(prev) => {
+                    drop(guard);
+                    to_merge = Some(merge(prev, v));
+                }
+            }
+        }
+    } else {
+        let (a, b) = part.split_half().expect("checked above");
+        s.spawn(move |s| split_reduce(s, a, grain, leaf, merge, acc));
+        split_reduce(s, b, grain, leaf, merge, acc);
+    }
+}
+
+/// Run `leaf` over an explicit list of work items in parallel, returning
+/// results in input order. Items are opaque (domain parts, data chunks, …);
+/// used when chunk boundaries must match the virtual-time executor exactly.
+pub fn map_parts_ordered<P, T, L>(pool: &ThreadPool, parts: Vec<P>, leaf: &L) -> Vec<T>
+where
+    P: Send,
+    T: Send,
+    L: Fn(&P) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = parts.iter().map(|_| Mutex::new(None)).collect();
+    pool.scope(|s| {
+        for (i, p) in parts.into_iter().enumerate() {
+            let slots = &slots;
+            s.spawn(move |_| {
+                let value = leaf(&p);
+                *slots[i].lock() = Some(value);
+            });
+        }
+    });
+    slots.into_iter().map(|m| m.into_inner().expect("every slot filled by its task")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use triolet_domain::{Dim2, Domain, Seq, SeqPart};
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let n = 1000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_part(&pool, Seq::new(n).whole_part(), 16, &|p: &SeqPart| {
+            for i in p.range() {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_part_is_noop() {
+        let pool = ThreadPool::new(2);
+        parallel_for_part(&pool, SeqPart::new(0, 0), 4, &|_: &SeqPart| {
+            panic!("must not be called")
+        });
+    }
+
+    #[test]
+    fn map_reduce_sums_like_sequential() {
+        let pool = ThreadPool::new(4);
+        let xs: Vec<u64> = (0..10_000).collect();
+        let total = map_reduce_part(
+            &pool,
+            Seq::new(xs.len()).whole_part(),
+            64,
+            &|p: &SeqPart| p.range().map(|i| xs[i]).sum::<u64>(),
+            &|a, b| a + b,
+        )
+        .unwrap();
+        assert_eq!(total, xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn map_reduce_empty_is_none() {
+        let pool = ThreadPool::new(2);
+        let r = map_reduce_part(
+            &pool,
+            SeqPart::new(0, 0),
+            4,
+            &|_: &SeqPart| 1u32,
+            &|a: u32, b: u32| a + b,
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn map_reduce_2d_blocks() {
+        let pool = ThreadPool::new(3);
+        let d = Dim2::new(37, 23);
+        let total = map_reduce_part(
+            &pool,
+            d.whole_part(),
+            10,
+            &|b| b.indices().iter().map(|&(r, c)| (r * 1000 + c) as u64).sum::<u64>(),
+            &|a, b| a + b,
+        )
+        .unwrap();
+        let expect: u64 =
+            (0..37).flat_map(|r| (0..23).map(move |c| (r * 1000 + c) as u64)).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn map_parts_ordered_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let parts = Seq::new(100).split_parts(7);
+        let firsts = map_parts_ordered(&pool, parts.clone(), &|p: &SeqPart| p.start);
+        assert_eq!(firsts, parts.iter().map(|p| p.start).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grain_of_one_still_correct() {
+        let pool = ThreadPool::new(2);
+        let total = map_reduce_part(
+            &pool,
+            Seq::new(100).whole_part(),
+            1,
+            &|p: &SeqPart| p.count() as u64,
+            &|a, b| a + b,
+        )
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn default_grain_reasonable() {
+        let part = Seq::new(1600).whole_part();
+        let g = default_grain(&part, 4);
+        assert_eq!(g, 100);
+        assert_eq!(default_grain(&SeqPart::new(0, 1), 8), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Virtual-time scheduling: deterministic replay of measured task durations.
+//!
+//! The paper evaluates on a 128-core cluster; this reproduction runs on hosts
+//! with far fewer cores, so scaling figures are regenerated in *virtual
+//! time*: leaf tasks are executed (and timed) sequentially, then replayed
+//! through a greedy earliest-available-worker schedule. Greedy list
+//! scheduling is the textbook model of dynamic work stealing (Graham's bound:
+//! makespan <= work/p + span), so the virtual makespan has the same shape —
+//! including load-imbalance effects from irregular tasks — as a real
+//! work-stealing execution.
+
+/// Result of scheduling a task list onto `workers` identical workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Completion time of the last task (seconds).
+    pub makespan: f64,
+    /// Worker index each task was assigned to, in submission order.
+    pub assignment: Vec<usize>,
+    /// Total busy time per worker (seconds).
+    pub worker_loads: Vec<f64>,
+}
+
+impl Schedule {
+    /// Total work across all tasks (seconds).
+    pub fn work(&self) -> f64 {
+        self.worker_loads.iter().sum()
+    }
+
+    /// Fraction of `makespan * workers` spent busy; 1.0 is a perfect
+    /// balance.
+    pub fn efficiency(&self) -> f64 {
+        let p = self.worker_loads.len() as f64;
+        if self.makespan <= 0.0 || p == 0.0 {
+            return 1.0;
+        }
+        self.work() / (self.makespan * p)
+    }
+}
+
+/// Greedy earliest-available-worker scheduling of `durations` (seconds) onto
+/// `workers` workers, in submission order.
+///
+/// This models a dynamic scheduler: each task goes to the worker that frees
+/// up first, which is what a work-stealing pool converges to when tasks
+/// substantially outnumber workers.
+pub fn greedy_schedule(durations: &[f64], workers: usize) -> Schedule {
+    let workers = workers.max(1);
+    let mut free_at = vec![0.0f64; workers];
+    let mut assignment = Vec::with_capacity(durations.len());
+    for &d in durations {
+        // Find the earliest-free worker (linear scan: worker counts are
+        // small and this runs outside any hot loop).
+        let (best, _) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("durations are finite"))
+            .expect("workers >= 1");
+        free_at[best] += d.max(0.0);
+        assignment.push(best);
+    }
+    let makespan = free_at.iter().cloned().fold(0.0f64, f64::max);
+    let mut worker_loads = vec![0.0f64; workers];
+    for (task, &w) in assignment.iter().enumerate() {
+        worker_loads[w] += durations[task].max(0.0);
+    }
+    Schedule { makespan, assignment, worker_loads }
+}
+
+/// Group task indices by assigned worker, preserving submission order within
+/// each worker. Used to replay per-worker sequential merging in virtual mode
+/// (each virtual thread folds its own chunks into one private accumulator).
+pub fn tasks_by_worker(schedule: &Schedule) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); schedule.worker_loads.len()];
+    for (task, &w) in schedule.assignment.iter().enumerate() {
+        groups[w].push(task);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_sums_durations() {
+        let s = greedy_schedule(&[1.0, 2.0, 3.0], 1);
+        assert!((s.makespan - 6.0).abs() < 1e-12);
+        assert_eq!(s.assignment, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn perfect_split_halves_makespan() {
+        let s = greedy_schedule(&[1.0, 1.0, 1.0, 1.0], 2);
+        assert!((s.makespan - 2.0).abs() < 1e-12);
+        assert!((s.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalanced_tail_dominates() {
+        // One long task at the end: greedy places it on a free worker, the
+        // makespan is bounded below by its duration.
+        let s = greedy_schedule(&[0.1, 0.1, 0.1, 5.0], 4);
+        assert!((s.makespan - 5.0).abs() < 1e-12);
+        assert!(s.efficiency() < 0.5);
+    }
+
+    #[test]
+    fn graham_bound_holds() {
+        let durations: Vec<f64> = (1..=50).map(|i| (i % 7) as f64 * 0.01 + 0.001).collect();
+        for p in [1usize, 2, 4, 8, 16] {
+            let s = greedy_schedule(&durations, p);
+            let work: f64 = durations.iter().sum();
+            let span = durations.iter().cloned().fold(0.0, f64::max);
+            assert!(s.makespan <= work / p as f64 + span + 1e-9, "p={p}");
+            assert!(s.makespan >= work / p as f64 - 1e-9, "p={p}");
+            assert!(s.makespan >= span - 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn more_workers_never_slower() {
+        let durations: Vec<f64> = (0..40).map(|i| ((i * 13) % 11) as f64 * 0.01 + 0.001).collect();
+        let mut prev = f64::INFINITY;
+        for p in [1usize, 2, 4, 8, 16, 32] {
+            let m = greedy_schedule(&durations, p).makespan;
+            assert!(m <= prev + 1e-9, "p={p}: {m} > {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let s = greedy_schedule(&[], 4);
+        assert_eq!(s.makespan, 0.0);
+        assert!(s.assignment.is_empty());
+    }
+
+    #[test]
+    fn tasks_by_worker_partition() {
+        let s = greedy_schedule(&[1.0; 10], 3);
+        let groups = tasks_by_worker(&s);
+        let mut all: Vec<usize> = groups.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let s = greedy_schedule(&[1.0, 1.0], 0);
+        assert_eq!(s.worker_loads.len(), 1);
+        assert!((s.makespan - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! Unpacking errors.
+
+use std::fmt;
+
+/// Error produced when a payload cannot be decoded.
+///
+/// Packing is infallible (it only appends to a growable buffer); unpacking
+/// validates framing and can fail on truncated or corrupt input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran out of bytes: `needed` more bytes were required but only
+    /// `remaining` were available.
+    UnexpectedEof { needed: usize, remaining: usize },
+    /// An enum discriminant byte had no corresponding variant.
+    BadTag { ty: &'static str, tag: u8 },
+    /// A length prefix exceeded the bytes remaining in the buffer, indicating
+    /// corruption rather than mere truncation.
+    BadLength { len: usize, remaining: usize },
+    /// Bytes were left over after [`crate::unpack_all`] finished decoding.
+    TrailingBytes { remaining: usize },
+    /// A UTF-8 string payload failed validation.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of payload: needed {needed} bytes, {remaining} remaining"
+            ),
+            WireError::BadTag { ty, tag } => {
+                write!(f, "invalid discriminant {tag} while decoding {ty}")
+            }
+            WireError::BadLength { len, remaining } => write!(
+                f,
+                "length prefix {len} exceeds {remaining} remaining payload bytes"
+            ),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoding finished")
+            }
+            WireError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,88 @@
+//! The block-copy fast path marker.
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Marker for element types whose slices are serialized with a single block
+/// copy, mirroring the paper's fast path for "pointer-free arrays".
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, contain no padding bytes, no pointers, and be
+/// valid for every bit pattern of their size. The trait is sealed: it is only
+/// implemented for the primitive numeric types below, which all satisfy these
+/// requirements, so downstream code cannot introduce an unsound impl.
+pub unsafe trait Pod: Copy + Send + Sync + 'static + sealed::Sealed {}
+
+macro_rules! impl_pod {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl sealed::Sealed for $t {}
+            // SAFETY: primitive numeric types are Copy, padding-free, and
+            // valid for all bit patterns.
+            unsafe impl Pod for $t {}
+        )*
+    };
+}
+
+impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// View a slice of [`Pod`] elements as raw bytes (the block-copy write side).
+pub(crate) fn pod_bytes<T: Pod>(slice: &[T]) -> &[u8] {
+    // SAFETY: T: Pod guarantees no padding and no invalid representations, so
+    // reinterpreting the allocation as bytes is sound. Lifetime and length are
+    // carried over from the input slice.
+    unsafe {
+        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
+    }
+}
+
+/// Copy raw bytes into a freshly allocated `Vec<T>` (the block-copy read side).
+///
+/// `bytes.len()` must be a multiple of `size_of::<T>()`; callers validate this
+/// via their length prefix before calling.
+pub(crate) fn pod_from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    let elem = std::mem::size_of::<T>();
+    debug_assert_eq!(bytes.len() % elem, 0);
+    let n = bytes.len() / elem;
+    let mut out = Vec::<T>::with_capacity(n);
+    // SAFETY: the destination has capacity for n elements; every bit pattern
+    // is a valid T (Pod), and the source holds exactly n * size_of::<T>()
+    // initialized bytes. Alignment is satisfied because we copy byte-wise into
+    // a properly aligned Vec allocation.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_bytes_roundtrip_f32() {
+        let xs = vec![1.5f32, -2.25, 3.0e9, f32::MIN_POSITIVE];
+        let bytes = pod_bytes(&xs);
+        assert_eq!(bytes.len(), xs.len() * 4);
+        let back: Vec<f32> = pod_from_bytes(bytes);
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn pod_bytes_roundtrip_u64() {
+        let xs = vec![0u64, u64::MAX, 42, 1 << 63];
+        let back: Vec<u64> = pod_from_bytes(pod_bytes(&xs));
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn pod_bytes_empty() {
+        let xs: Vec<i32> = vec![];
+        assert!(pod_bytes(&xs).is_empty());
+        let back: Vec<i32> = pod_from_bytes(&[]);
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Append-only byte buffer used by the pack side.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::pod::{pod_bytes, Pod};
+
+/// Growable byte sink that [`crate::Wire::pack`] implementations write into.
+///
+/// Lengths are framed as `u64` so framing is identical on 32- and 64-bit
+/// hosts; element bytes are written native-endian (the buffer never leaves the
+/// process).
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Create a writer with `cap` bytes preallocated. Use this when
+    /// [`crate::Wire::packed_size`] is known to avoid growth reallocations —
+    /// the analogue of the paper's single-allocation message construction.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a single byte (enum discriminants).
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a length prefix.
+    pub fn put_len(&mut self, len: usize) {
+        self.buf.put_u64_ne(len as u64);
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Block-copy a slice of pod elements: one length prefix, one `memcpy`.
+    ///
+    /// This is the fast path the paper calls out for pointer-free arrays.
+    pub fn put_pod_slice<T: Pod>(&mut self, slice: &[T]) {
+        self.put_len(slice.len());
+        self.buf.put_slice(pod_bytes(slice));
+    }
+
+    /// Append one pod value.
+    pub fn put_pod<T: Pod>(&mut self, v: T) {
+        self.buf.put_slice(pod_bytes(std::slice::from_ref(&v)));
+    }
+
+    /// Freeze the accumulated bytes into an immutable, cheaply clonable
+    /// payload ready to cross a node boundary.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_accumulates() {
+        let mut w = WireWriter::new();
+        assert!(w.is_empty());
+        w.put_u8(7);
+        w.put_len(3);
+        w.put_pod(1.5f64);
+        assert_eq!(w.len(), 1 + 8 + 8);
+        let b = w.finish();
+        assert_eq!(b.len(), 17);
+        assert_eq!(b[0], 7);
+    }
+
+    #[test]
+    fn pod_slice_is_length_prefixed() {
+        let mut w = WireWriter::new();
+        w.put_pod_slice(&[1u32, 2, 3]);
+        let b = w.finish();
+        assert_eq!(b.len(), 8 + 3 * 4);
+    }
+
+    #[test]
+    fn with_capacity_matches_default_output() {
+        let mut a = WireWriter::new();
+        let mut b = WireWriter::with_capacity(64);
+        for w in [&mut a, &mut b] {
+            w.put_pod_slice(&[9i64, -9]);
+            w.put_u8(1);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+}

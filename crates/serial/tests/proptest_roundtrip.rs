@@ -1,0 +1,67 @@
+//! Property-based tests: every Wire encoding must roundtrip exactly, and
+//! `packed_size` must always equal the number of bytes actually written.
+
+use proptest::prelude::*;
+use triolet_serial::{packed, unpack_all, Wire, WireReader, WireWriter};
+
+fn check_roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
+    let bytes = packed(v);
+    prop_assert_eq!(bytes.len(), v.packed_size());
+    let back = unpack_all::<T>(bytes).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    prop_assert_eq!(&back, v);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_f32_vec(v in proptest::collection::vec(any::<f32>().prop_filter("finite", |x| x.is_finite()), 0..256)) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn roundtrip_f64_vec(v in proptest::collection::vec(any::<f64>().prop_filter("finite", |x| x.is_finite()), 0..256)) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn roundtrip_u64_vec(v in proptest::collection::vec(any::<u64>(), 0..256)) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn roundtrip_nested_vec(v in proptest::collection::vec(proptest::collection::vec(any::<i32>(), 0..16), 0..32)) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn roundtrip_tuple(a in any::<u32>(), b in any::<i64>(), s in ".{0,32}") {
+        check_roundtrip(&(a, b, s))?;
+    }
+
+    #[test]
+    fn roundtrip_option(v in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64))) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn concatenated_values_decode_in_order(a in any::<u32>(), b in proptest::collection::vec(any::<f32>().prop_filter("finite", |x| x.is_finite()), 0..32), c in any::<bool>()) {
+        let mut w = WireWriter::new();
+        a.pack(&mut w);
+        b.pack(&mut w);
+        c.pack(&mut w);
+        let mut r = WireReader::new(w.finish());
+        prop_assert_eq!(u32::unpack(&mut r).unwrap(), a);
+        prop_assert_eq!(Vec::<f32>::unpack(&mut r).unwrap(), b);
+        prop_assert_eq!(bool::unpack(&mut r).unwrap(), c);
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_payload_never_panics(v in proptest::collection::vec(any::<u64>(), 1..64), cut in 0usize..64) {
+        let bytes = packed(&v);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let truncated = bytes.slice(0..cut);
+        // Must return an error, not panic.
+        prop_assert!(unpack_all::<Vec<u64>>(truncated).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the paper's §2 dot product, plus a tour of the skeletons.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use triolet::prelude::*;
+
+fn main() {
+    // A virtual cluster: 4 nodes x 4 threads (shape of the paper's testbed,
+    // scaled down). Virtual mode models timing; results are exact.
+    let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 4));
+    println!("cluster: {} nodes x {} threads", rt.nodes(), rt.threads_per_node());
+
+    // ---- The paper's dot product --------------------------------------
+    // def dot(xs, ys): return sum(x*y for (x, y) in par(zip(xs, ys)))
+    let xs: Vec<f64> = (0..100_000).map(|i| (i % 100) as f64 * 0.01).collect();
+    let ys: Vec<f64> = (0..100_000).map(|i| (i % 17) as f64 * 0.1).collect();
+    let (dot, stats) = rt.sum(
+        zip(from_vec(xs.clone()), from_vec(ys.clone()))
+            .map(|(x, y): (f64, f64)| x * y)
+            .par(),
+    );
+    let expect: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    println!("dot       = {dot:.3} (expected {expect:.3})");
+    println!(
+        "  shipped {} KiB to nodes, {} KiB back, {} messages",
+        stats.bytes_out / 1024,
+        stats.bytes_back / 1024,
+        stats.messages
+    );
+    assert!((dot - expect).abs() < 1e-6 * expect.abs());
+
+    // ---- Irregular loops stay parallel ---------------------------------
+    // count of filter: the outer loop still partitions across nodes even
+    // though each element yields 0 or 1 outputs.
+    let (positives, _) = rt.count(
+        from_vec(xs.clone())
+            .map(|x: f64| x - 0.3)
+            .filter(|v: &f64| *v > 0.0)
+            .par(),
+    );
+    println!("positives = {positives}");
+
+    // ---- Histogramming --------------------------------------------------
+    // A distributed histogram: private per thread, merged per node, summed
+    // at the root.
+    let (hist, _) =
+        rt.histogram(10, from_vec(ys).map(|y: f64| ((y * 6.25) as usize).min(9)).par());
+    println!("histogram = {hist:?}");
+    assert_eq!(hist.iter().sum::<u64>(), 100_000);
+
+    // ---- localpar: shared-memory only ----------------------------------
+    let (sum_local, local_stats) = rt.sum(from_vec(xs).map(|x: f64| x * 2.0).localpar());
+    println!("localpar sum = {sum_local:.3} (0 bytes shipped: {})", local_stats.bytes_out);
+    assert_eq!(local_stats.bytes_out, 0);
+
+    println!("quickstart OK");
+}

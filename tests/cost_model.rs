@@ -1,0 +1,137 @@
+//! Sanity properties of the virtual-time and traffic models: the modeled
+//! quantities must move in the directions the paper's measurements move.
+
+use std::time::Instant;
+
+use triolet::prelude::*;
+use triolet_apps::sgemm;
+use triolet_baselines::EdenRt;
+
+/// A compute-heavy workload whose per-element cost is real CPU time.
+fn busy_value(x: u64) -> u64 {
+    let mut acc = x;
+    for _ in 0..2_000 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    acc % 1024 // keep sums far from overflow in debug builds
+}
+
+#[test]
+fn more_cores_never_model_slower_compute() {
+    let xs: Vec<u64> = (0..2_000).collect();
+    let mut prev = f64::INFINITY;
+    for (nodes, tpn) in [(1, 1), (1, 4), (2, 4), (4, 4), (8, 16)] {
+        let cfg = ClusterConfig::virtual_cluster(nodes, tpn).with_cost(CostModel::free());
+        let rt = Triolet::new(cfg);
+        let (_, stats) = rt.sum(from_vec(xs.clone()).map(busy_value).par());
+        let span = stats.compute_span_s();
+        assert!(
+            span <= prev * 1.35,
+            "{nodes}x{tpn}: compute span {span} regressed badly from {prev}"
+        );
+        prev = prev.min(span);
+    }
+}
+
+#[test]
+fn comm_time_scales_with_payload() {
+    let slow_net = CostModel { latency_s: 0.0, bandwidth_bps: 1e8 };
+    let rt = |n: usize| {
+        Triolet::new(ClusterConfig::virtual_cluster(2, 1).with_cost(slow_net))
+            .sum(from_vec(vec![1u8; n]).map(|x: u8| x as u64).par())
+            .1
+            .comm_s
+    };
+    let small = rt(10_000);
+    let large = rt(1_000_000);
+    assert!(large > 50.0 * small, "large={large} small={small}");
+}
+
+#[test]
+fn slicing_beats_full_copy_traffic() {
+    // Triolet ships ~1 copy of the input total (each node gets its slice);
+    // Eden's default full-copy semantics ship one complete copy per node.
+    // The gap is the paper's §3.5 argument in byte counts.
+    let data: Vec<f32> = (0..100_000).map(|i| i as f32).collect();
+    let rt = Triolet::new(ClusterConfig::virtual_cluster(8, 2));
+    let (_, t_stats) = rt.sum(from_vec(data.clone()).map(|x: f32| x as f64).par());
+
+    let eden = EdenRt::new(8, 2).with_msg_limit(usize::MAX);
+    let n = data.len();
+    let (_, e_stats) = eden
+        .map_reduce_full_copy(
+            data,
+            16,
+            move |d, tid| {
+                let chunk = n / 16;
+                d[tid * chunk..(tid + 1) * chunk].iter().map(|&x| x as f64).sum::<f64>()
+            },
+            |a, b| a + b,
+            || 0.0f64,
+        )
+        .expect("limit disabled");
+
+    assert!(
+        e_stats.bytes_out > 4 * t_stats.bytes_out,
+        "eden={} triolet={}",
+        e_stats.bytes_out,
+        t_stats.bytes_out
+    );
+}
+
+#[test]
+fn sgemm_block_traffic_grows_sublinearly_in_nodes() {
+    // With a 2-D block decomposition, going from 4 to 16 nodes doubles (not
+    // quadruples) the shipped copies of each matrix: O(sqrt(p)).
+    let input = sgemm::generate(64, 8);
+    let bytes = |nodes: usize| {
+        let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, 1));
+        sgemm::run_triolet(&rt, &input).1.bytes_out as f64
+    };
+    let b4 = bytes(4);
+    let b16 = bytes(16);
+    assert!(b16 < 2.6 * b4, "b16={b16} b4={b4}: block slicing must be sublinear");
+    assert!(b16 > 1.5 * b4, "more nodes must still cost more than fewer");
+}
+
+#[test]
+fn virtual_total_includes_comm_and_compute() {
+    let net = CostModel { latency_s: 1e-3, bandwidth_bps: 1e9 };
+    let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2).with_cost(net));
+    let xs: Vec<u64> = (0..500).collect();
+    let (_, stats) = rt.sum(from_vec(xs).map(busy_value).par());
+    // comm_s is an aggregate over all links; the critical path includes the
+    // root's serialized send chain (4 messages) plus one result return.
+    assert!(stats.total_s >= stats.compute_span_s());
+    assert!(stats.total_s >= 5.0 * 1e-3, "send chain + result return at 1ms each");
+    assert!(stats.comm_s >= 8.0 * 1e-3, "8 messages x 1ms latency minimum");
+}
+
+#[test]
+fn measured_mode_wall_clock_is_plausible() {
+    // Measured mode's total must be at least the span of real work done.
+    let rt = Triolet::new(ClusterConfig::measured(2, 1));
+    let t0 = Instant::now();
+    let xs: Vec<u64> = (0..200).collect();
+    let (_, stats) = rt.sum(from_vec(xs).map(busy_value).par());
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(stats.total_s <= wall * 1.5 + 0.01);
+    assert!(stats.total_s > 0.0);
+}
+
+#[test]
+fn eden_straggler_penalty_visible_at_scale() {
+    // Same work per node; the 8-node Eden run must carry a visibly larger
+    // total/span ratio than the 2-node run (the paper's delayed tasks).
+    let work = |v: Vec<u64>| v.into_iter().map(busy_value).fold(0u64, u64::wrapping_add);
+    let inputs = |n: usize| (0..n).map(|i| vec![i as u64; 256]).collect::<Vec<_>>();
+    let (_, s2) = EdenRt::new(2, 1)
+        .map_reduce(inputs(2), work, |a, b| a.wrapping_add(b), || 0)
+        .unwrap();
+    let (_, s8) = EdenRt::new(8, 1)
+        .map_reduce(inputs(8), work, |a, b| a.wrapping_add(b), || 0)
+        .unwrap();
+    let rel2 = s2.total_s / s2.compute_span_s();
+    let rel8 = s8.total_s / s8.compute_span_s();
+    assert!(rel8 > rel2 + 0.05, "rel8={rel8} rel2={rel2}");
+}

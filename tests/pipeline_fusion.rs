@@ -1,0 +1,153 @@
+//! Fusion semantics across the whole stack: arbitrary compositions of the
+//! hybrid-iterator combinators must equal their naive materialized
+//! counterparts, both when consumed sequentially and when distributed — and
+//! the irregular shapes must stay partitionable.
+
+use std::sync::Arc;
+
+use triolet::prelude::*;
+use triolet_iter::sources::zip_seq;
+use triolet_iter::StepFlat;
+
+fn rt(nodes: usize, tpn: usize) -> Triolet {
+    Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn))
+}
+
+#[test]
+fn map_filter_map_chain_equals_naive() {
+    let xs: Vec<i64> = (0..3000).map(|i| (i * 7919) % 1000 - 500).collect();
+    // Naive: materialize every stage.
+    let naive: Vec<i64> = xs
+        .iter()
+        .map(|&x| x * 3)
+        .filter(|&v| v % 2 == 0)
+        .map(|v| v + 1)
+        .collect();
+    // Fused pipeline, sequential consumption.
+    let fused = from_vec(xs.clone())
+        .map(|x: i64| x * 3)
+        .filter(|v: &i64| v % 2 == 0)
+        .map(|v: i64| v + 1)
+        .collect_vec();
+    assert_eq!(fused, naive);
+    // Fused pipeline, distributed materialization.
+    let (dist, _) = rt(4, 2).build_vec(
+        from_vec(xs)
+            .map(|x: i64| x * 3)
+            .filter(|v: &i64| v % 2 == 0)
+            .map(|v: i64| v + 1)
+            .par(),
+    );
+    assert_eq!(dist, naive);
+}
+
+#[test]
+fn concat_map_filter_sum_distributes() {
+    let xs: Vec<i64> = (1..200).collect();
+    let naive: i64 = xs
+        .iter()
+        .flat_map(|&x| (0..x % 7).map(move |y| x * y))
+        .filter(|v| v % 3 == 0)
+        .sum();
+    let it = from_vec(xs)
+        .concat_map(|x: i64| StepFlat::new((0..x % 7).map(move |y| x * y)))
+        .filter(|v: &i64| v % 3 == 0)
+        .par();
+    let (dist, _) = rt(3, 4).sum(it);
+    assert_eq!(dist, naive);
+}
+
+#[test]
+fn nested_concat_maps_three_deep() {
+    let naive: Vec<i64> = (0..20i64)
+        .flat_map(|a| (0..a % 4).flat_map(move |b| (0..b + 1).map(move |c| a * 100 + b * 10 + c)))
+        .collect();
+    let it = range(20)
+        .map(|a: usize| a as i64)
+        .concat_map(|a: i64| {
+            StepFlat::new(0..a % 4).concat_map(move |b: i64| {
+                StepFlat::new((0..b + 1).map(move |c| a * 100 + b * 10 + c))
+            })
+        });
+    assert_eq!(it.collect_vec(), naive);
+}
+
+#[test]
+fn zip_of_mapped_arrays_fuses_and_distributes() {
+    let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+    let ys: Vec<f64> = (0..1000).map(|i| (i * 3 % 11) as f64).collect();
+    let naive: f64 = xs.iter().zip(&ys).map(|(x, y)| (x + 1.0) * y).sum();
+    let it = zip(from_vec(xs), from_vec(ys))
+        .map(|(x, y): (f64, f64)| (x + 1.0) * y)
+        .par();
+    let (dist, _) = rt(4, 4).sum(it);
+    assert!((dist - naive).abs() < 1e-9 * naive.abs());
+}
+
+#[test]
+fn zip_seq_handles_irregular_lengths() {
+    // Zipping a filtered (variable-length) iterator against a flat one goes
+    // through the stepper fallback of Figure 2.
+    let evens = range(100).map(|i: usize| i as i64).filter(|x: &i64| x % 2 == 0);
+    let flat = range(100).map(|i: usize| i as i64);
+    let pairs = zip_seq(evens, flat).collect_vec();
+    assert_eq!(pairs.len(), 50);
+    assert_eq!(pairs[10], (20, 10));
+}
+
+#[test]
+fn filter_slicing_respects_part_boundaries() {
+    // Slice a filtered iterator by hand and check that each part holds only
+    // its share of the data (the distributed engine relies on this).
+    let xs: Vec<i64> = (0..100).collect();
+    let it = from_vec(xs).filter(|x: &i64| x % 5 == 0);
+    let dom = triolet::DistIter::outer_domain(&it);
+    let parts = dom.split_parts(4);
+    let mut collected = Vec::new();
+    for p in &parts {
+        let sub = it.slice_outer(p);
+        assert!(
+            sub.source_bytes() <= it.source_bytes() / 3,
+            "slice must shrink the data footprint"
+        );
+        sub.fold_outer_part(p, (), &mut |(), x| collected.push(x));
+    }
+    assert_eq!(collected, (0..100).filter(|x| x % 5 == 0).collect::<Vec<i64>>());
+}
+
+#[test]
+fn shared_captured_state_is_safe_across_nodes() {
+    // Arc-captured closure state works under distribution (code ships with
+    // its environment; data sources ship as bytes).
+    let weights = Arc::new((0..64usize).map(|i| i as f64 * 0.5).collect::<Vec<f64>>());
+    let w = Arc::clone(&weights);
+    let it = range(64).map(move |i: usize| w[i] * 2.0).par();
+    let (total, _) = rt(4, 2).sum(it);
+    let expect: f64 = weights.iter().map(|x| x * 2.0).sum();
+    assert!((total - expect).abs() < 1e-9);
+}
+
+#[test]
+fn collectors_compose_with_engine_and_sequential_paths() {
+    let xs: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 97) as u32).collect();
+    // Sequential collector drain.
+    let mut seq_hist = triolet::CountHist::new(97);
+    from_vec(xs.clone()).map(|x: u32| x as usize).collect_into(&mut seq_hist);
+    // Distributed histogram.
+    let (dist, _) = rt(8, 4).histogram(97, from_vec(xs).map(|x: u32| x as usize).par());
+    assert_eq!(seq_hist.finish(), dist);
+}
+
+#[test]
+fn hints_are_independent_of_results_for_every_consumer() {
+    let xs: Vec<i64> = (0..500).map(|i| (i * 31) % 83 - 40).collect();
+    let engine = rt(4, 4);
+    let make = || from_vec(xs.clone()).map(|x: i64| x * x).filter(|v: &i64| *v > 100);
+    let seq_sum: i64 = make().sum_scalar();
+    for hint in [ParHint::Sequential, ParHint::LocalPar, ParHint::Par] {
+        let (s, _) = engine.sum(make().with_hint(hint));
+        assert_eq!(s, seq_sum, "hint {hint:?}");
+        let (c, _) = engine.count(make().with_hint(hint));
+        assert_eq!(c, make().count_items() as u64, "hint {hint:?}");
+    }
+}
