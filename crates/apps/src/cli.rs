@@ -74,18 +74,24 @@ impl Opts {
                         }
                     }
                 }
-                "--nodes" => nodes = value(&mut args).parse().unwrap_or_else(|_| {
-                    usage();
-                    unreachable!()
-                }),
-                "--threads" => threads = value(&mut args).parse().unwrap_or_else(|_| {
-                    usage();
-                    unreachable!()
-                }),
-                "--seed" => seed = value(&mut args).parse().unwrap_or_else(|_| {
-                    usage();
-                    unreachable!()
-                }),
+                "--nodes" => {
+                    nodes = value(&mut args).parse().unwrap_or_else(|_| {
+                        usage();
+                        unreachable!()
+                    })
+                }
+                "--threads" => {
+                    threads = value(&mut args).parse().unwrap_or_else(|_| {
+                        usage();
+                        unreachable!()
+                    })
+                }
+                "--seed" => {
+                    seed = value(&mut args).parse().unwrap_or_else(|_| {
+                        usage();
+                        unreachable!()
+                    })
+                }
                 other => {
                     let key = other.strip_prefix("--").unwrap_or_else(|| {
                         usage();

@@ -37,11 +37,8 @@ pub fn run_eden(rt: &EdenRt, input: &CutcpInput) -> Result<(Vec<f64>, RunStats),
     // One chunk per process across the machine.
     let total_procs = (rt.nodes() * rt.procs_per_node()).max(1);
     let chunk_size = input.atoms.len().div_ceil(total_procs).max(1);
-    let tasks: Vec<EdenTask> = input
-        .atoms
-        .chunks(chunk_size)
-        .map(|c| EdenTask { atoms: c.to_vec(), geom })
-        .collect();
+    let tasks: Vec<EdenTask> =
+        input.atoms.chunks(chunk_size).map(|c| EdenTask { atoms: c.to_vec(), geom }).collect();
 
     let (grid, stats) = rt.map_reduce(
         tasks,
@@ -64,8 +61,7 @@ pub fn run_eden(rt: &EdenRt, input: &CutcpInput) -> Result<(Vec<f64>, RunStats),
                     let dz = iz as f32 * g.h - a.z;
                     (g.dom.linear_of((ix, iy, iz)), dx * dx + dy * dy + dz * dz)
                 }));
-                let inside =
-                    boxed_pipeline(scored.filter(|&(_, r2)| r2 <= c2 && r2 > 0.0));
+                let inside = boxed_pipeline(scored.filter(|&(_, r2)| r2 <= c2 && r2 > 0.0));
                 for (cell, r2) in inside {
                     grid[cell] += potential(a.q, r2, c2);
                 }

@@ -88,9 +88,7 @@ pub fn bin_atoms(input: &CutcpInput) -> AtomBins {
     let count = |cells: usize| ((extent(cells) / bin_w).ceil() as usize).max(1);
     let nb = (count(g.dom.nx), count(g.dom.ny), count(g.dom.nz));
     let mut bins = vec![Vec::new(); nb.0 * nb.1 * nb.2];
-    let axis = |p: f32, n: usize| {
-        ((p / bin_w).floor().max(0.0) as usize).min(n.saturating_sub(1))
-    };
+    let axis = |p: f32, n: usize| ((p / bin_w).floor().max(0.0) as usize).min(n.saturating_sub(1));
     for &a in &input.atoms {
         let (bx, by, bz) = (axis(a.x, nb.0), axis(a.y, nb.1), axis(a.z, nb.2));
         bins[(bx * nb.1 + by) * nb.2 + bz].push(a);

@@ -55,8 +55,7 @@ fn kernel(ctx: &NodeCtx<'_>, p: RankPayload) -> Vec<f64> {
     let cells = p.geom.dom.count();
     let chunk_count = ctx.threads() * 4;
     let chunk_size = p.atoms.len().div_ceil(chunk_count.max(1)).max(1);
-    let chunks: Vec<Vec<Atom>> =
-        p.atoms.chunks(chunk_size).map(|c| c.to_vec()).collect();
+    let chunks: Vec<Vec<Atom>> = p.atoms.chunks(chunk_size).map(|c| c.to_vec()).collect();
     let geom = p.geom;
     ctx.map_reduce_chunks(
         chunks,

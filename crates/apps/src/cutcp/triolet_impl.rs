@@ -30,8 +30,7 @@ fn grid_pts(geom: GridGeom, a: Atom) -> StepFlat<std::vec::IntoIter<Candidate>> 
     let (x0, x1) = axis_range(a.x, geom.cutoff, geom.h, nx);
     let (y0, y1) = axis_range(a.y, geom.cutoff, geom.h, ny);
     let (z0, z1) = axis_range(a.z, geom.cutoff, geom.h, nz);
-    let mut out =
-        Vec::with_capacity((x1 - x0 + 1) * (y1 - y0 + 1) * (z1 - z0 + 1));
+    let mut out = Vec::with_capacity((x1 - x0 + 1) * (y1 - y0 + 1) * (z1 - z0 + 1));
     for ix in x0..=x1 {
         let dx = ix as f32 * geom.h - a.x;
         for iy in y0..=y1 {

@@ -31,17 +31,13 @@ pub mod tpacf;
 /// `tol * max(1, |a|, |b|)` elementwise.
 pub fn close_f32(a: &[f32], b: &[f32], tol: f32) -> bool {
     a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(&x, &y)| (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0))
+        && a.iter().zip(b).all(|(&x, &y)| (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0))
 }
 
 /// Relative-error comparison for `f64` outputs.
 pub fn close_f64(a: &[f64], b: &[f64], tol: f64) -> bool {
     a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(&x, &y)| (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0))
+        && a.iter().zip(b).all(|(&x, &y)| (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0))
 }
 
 #[cfg(test)]

@@ -70,7 +70,8 @@ impl Wire for EdenTask {
 /// `sinf`/`cosf` optimization).
 #[inline]
 fn ftcoeff_f64(samples: &Samples, k: usize, x: f32, y: f32, z: f32) -> (f32, f32) {
-    let arg = 2.0 * std::f64::consts::PI
+    let arg = 2.0
+        * std::f64::consts::PI
         * (samples.kx[k] as f64 * x as f64
             + samples.ky[k] as f64 * y as f64
             + samples.kz[k] as f64 * z as f64);
@@ -103,9 +104,8 @@ pub fn run_eden(rt: &EdenRt, input: &MriqInput) -> Result<(MriqOutput, RunStats)
         |t: EdenTask| -> Vec<(usize, Vec<f32>, Vec<f32>)> {
             // Boxed pipeline over the chunk (the Eden stepper view).
             let samples = &t.samples;
-            let pix = boxed_pipeline(
-                t.x.iter().zip(&t.y).zip(&t.z).map(|((&x, &y), &z)| (x, y, z)),
-            );
+            let pix =
+                boxed_pipeline(t.x.iter().zip(&t.y).zip(&t.z).map(|((&x, &y), &z)| (x, y, z)));
             let mut qr = Vec::with_capacity(t.x.len());
             let mut qi = Vec::with_capacity(t.x.len());
             for (x, y, z) in pix {

@@ -114,12 +114,7 @@ impl MriqInput {
             kx: self.kx.clone(),
             ky: self.ky.clone(),
             kz: self.kz.clone(),
-            phi_mag: self
-                .phi_r
-                .iter()
-                .zip(&self.phi_i)
-                .map(|(r, i)| r * r + i * i)
-                .collect(),
+            phi_mag: self.phi_r.iter().zip(&self.phi_i).map(|(r, i)| r * r + i * i).collect(),
         }
     }
 }
@@ -157,15 +152,9 @@ pub fn generate(num_pixels: usize, num_samples: usize, seed: u64) -> MriqInput {
 
 /// The per-(pixel, sample) contribution — the paper's `ftcoeff(k, r)`.
 #[inline]
-pub fn ftcoeff(
-    samples: &Samples,
-    k: usize,
-    x: f32,
-    y: f32,
-    z: f32,
-) -> (f32, f32) {
-    let arg = 2.0 * std::f32::consts::PI
-        * (samples.kx[k] * x + samples.ky[k] * y + samples.kz[k] * z);
+pub fn ftcoeff(samples: &Samples, k: usize, x: f32, y: f32, z: f32) -> (f32, f32) {
+    let arg =
+        2.0 * std::f32::consts::PI * (samples.kx[k] * x + samples.ky[k] * y + samples.kz[k] * z);
     let mag = samples.phi_mag[k];
     (mag * arg.cos(), mag * arg.sin())
 }

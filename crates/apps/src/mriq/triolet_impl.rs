@@ -18,12 +18,8 @@ use super::{ftcoeff, MriqInput, MriqOutput, Samples};
 /// Run mri-q through the Triolet skeletons on `rt`.
 pub fn run_triolet(rt: &Triolet, input: &MriqInput) -> (MriqOutput, RunStats) {
     let samples = input.samples();
-    let pixels = zip3(
-        from_vec(input.x.clone()),
-        from_vec(input.y.clone()),
-        from_vec(input.z.clone()),
-    )
-    .par();
+    let pixels =
+        zip3(from_vec(input.x.clone()), from_vec(input.y.clone()), from_vec(input.z.clone())).par();
     let (q, stats) = rt.build_vec_env(pixels, &samples, pixel_value);
     let (qr, qi) = q.into_iter().unzip();
     (MriqOutput { qr, qi }, stats)
@@ -32,12 +28,9 @@ pub fn run_triolet(rt: &Triolet, input: &MriqInput) -> (MriqOutput, RunStats) {
 /// Same computation restricted to one node's threads (used by ablations).
 pub fn run_triolet_localpar(rt: &Triolet, input: &MriqInput) -> (MriqOutput, RunStats) {
     let samples = input.samples();
-    let pixels = zip3(
-        from_vec(input.x.clone()),
-        from_vec(input.y.clone()),
-        from_vec(input.z.clone()),
-    )
-    .localpar();
+    let pixels =
+        zip3(from_vec(input.x.clone()), from_vec(input.y.clone()), from_vec(input.z.clone()))
+            .localpar();
     let (q, stats) = rt.build_vec_env(pixels, &samples, pixel_value);
     let (qr, qi) = q.into_iter().unzip();
     (MriqOutput { qr, qi }, stats)

@@ -45,11 +45,7 @@ impl Wire for BlockPayload {
         })
     }
     fn packed_size(&self) -> usize {
-        self.block.packed_size()
-            + self.a_rows.packed_size()
-            + self.bt_rows.packed_size()
-            + 8
-            + 4
+        self.block.packed_size() + self.a_rows.packed_size() + self.bt_rows.packed_size() + 8 + 4
     }
 }
 

@@ -50,9 +50,8 @@ pub fn generate(dim: usize, seed: u64) -> SgemmInput {
 /// Deterministic rectangular instance: `A` is `m x k`, `B` is `k x n`.
 pub fn generate_rect(m: usize, k: usize, n: usize, seed: u64) -> SgemmInput {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut gen = |rows: usize, cols: usize| {
-        Array2::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
-    };
+    let mut gen =
+        |rows: usize, cols: usize| Array2::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0));
     let a = gen(m, k);
     let b = gen(k, n);
     SgemmInput { a, b, alpha: 0.5 }

@@ -21,9 +21,7 @@ use super::{dot_rows, SgemmInput};
 pub fn transpose_triolet(rt: &Triolet, b: &Array2<f32>) -> (Array2<f32>, RunStats) {
     let data = b.to_shared();
     let (rows, cols) = (b.rows(), b.cols());
-    let it = range2d(cols, rows)
-        .map(move |(y, x): (usize, usize)| data[x * cols + y])
-        .localpar();
+    let it = range2d(cols, rows).map(move |(y, x): (usize, usize)| data[x * cols + y]).localpar();
     rt.build_array2(it)
 }
 
@@ -35,11 +33,10 @@ pub fn run_triolet(rt: &Triolet, input: &SgemmInput) -> (Array2<f32>, RunStats) 
 
     // The two-liner.
     let zipped_ab = outerproduct(rows(&input.a), rows(&bt)).par();
-    let (c, mut stats) = rt.build_array2(
-        zipped_ab.map(move |(u, v): (RowRef<f32>, RowRef<f32>)| {
+    let (c, mut stats) =
+        rt.build_array2(zipped_ab.map(move |(u, v): (RowRef<f32>, RowRef<f32>)| {
             alpha * dot_rows(u.as_slice(), v.as_slice())
-        }),
-    );
+        }));
     // Total time includes the transpose phase.
     stats.total_s += t_stats.total_s;
     stats.root_s += t_stats.root_s;

@@ -30,11 +30,7 @@ impl Wire for EdenTask {
         self.bin_edges.pack(w);
     }
     fn unpack(r: &mut WireReader) -> WireResult<Self> {
-        Ok(EdenTask {
-            rand: Option::unpack(r)?,
-            obs: Vec::unpack(r)?,
-            bin_edges: Vec::unpack(r)?,
-        })
+        Ok(EdenTask { rand: Option::unpack(r)?, obs: Vec::unpack(r)?, bin_edges: Vec::unpack(r)? })
     }
     fn packed_size(&self) -> usize {
         self.rand.packed_size() + self.obs.packed_size() + self.bin_edges.packed_size()
@@ -45,12 +41,10 @@ type ThreeHists = (Vec<u64>, Vec<u64>, Vec<u64>);
 
 /// Self-correlation through boxed pipelines (the unfused stepper chain).
 fn boxed_self(bin_edges: &[f64], set: &[Point], hist: &mut [u64]) {
-    let pairs = boxed_pipeline(
-        (0..set.len()).flat_map(|i| {
-            let u = set[i];
-            boxed_pipeline(set[i + 1..].iter().map(move |&v| (u, v)))
-        }),
-    );
+    let pairs = boxed_pipeline((0..set.len()).flat_map(|i| {
+        let u = set[i];
+        boxed_pipeline(set[i + 1..].iter().map(move |&v| (u, v)))
+    }));
     let scored = boxed_pipeline(pairs.map(|(u, v)| score(bin_edges, u, v)));
     for bin in scored {
         hist[bin] += 1;
@@ -59,9 +53,8 @@ fn boxed_self(bin_edges: &[f64], set: &[Point], hist: &mut [u64]) {
 
 /// Cross-correlation through boxed pipelines.
 fn boxed_cross(bin_edges: &[f64], a: &[Point], b: &[Point], hist: &mut [u64]) {
-    let pairs = boxed_pipeline(
-        a.iter().flat_map(|&u| boxed_pipeline(b.iter().map(move |&v| (u, v)))),
-    );
+    let pairs =
+        boxed_pipeline(a.iter().flat_map(|&u| boxed_pipeline(b.iter().map(move |&v| (u, v)))));
     let scored = boxed_pipeline(pairs.map(|(u, v)| score(bin_edges, u, v)));
     for bin in scored {
         hist[bin] += 1;
@@ -71,11 +64,8 @@ fn boxed_cross(bin_edges: &[f64], a: &[Point], b: &[Point], hist: &mut [u64]) {
 /// Run tpacf through the Eden runtime.
 pub fn run_eden(rt: &EdenRt, input: &TpacfInput) -> Result<(TpacfOutput, RunStats), EdenError> {
     let bins = hist_len(input);
-    let mut tasks: Vec<EdenTask> = vec![EdenTask {
-        rand: None,
-        obs: input.obs.clone(),
-        bin_edges: input.bin_edges.clone(),
-    }];
+    let mut tasks: Vec<EdenTask> =
+        vec![EdenTask { rand: None, obs: input.obs.clone(), bin_edges: input.bin_edges.clone() }];
     for rand in &input.rands {
         tasks.push(EdenTask {
             rand: Some(rand.clone()),

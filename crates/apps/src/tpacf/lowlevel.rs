@@ -42,10 +42,7 @@ impl Wire for RankPayload {
         })
     }
     fn packed_size(&self) -> usize {
-        self.rands.packed_size()
-            + self.obs.packed_size()
-            + self.bin_edges.packed_size()
-            + 1
+        self.rands.packed_size() + self.obs.packed_size() + self.bin_edges.packed_size() + 1
     }
 }
 

@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use triolet::RunStats;
 use triolet_cluster::{Cluster, ClusterConfig, CostModel, NodeCtx, RawTask};
-use triolet_serial::{Wire, packed};
+use triolet_serial::{packed, Wire};
 
 /// Default per-message buffer limit (bytes). Eden streams list elements as
 /// individual messages, so the limit applies to each task payload (and to
@@ -160,8 +160,7 @@ impl EdenRt {
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
                         // Leader -> process messages: every task input is
                         // serialized to its worker process (no shared heap).
-                        let input_bytes: usize =
-                            group.iter().map(Wire::packed_size).sum();
+                        let input_bytes: usize = group.iter().map(Wire::packed_size).sum();
                         let n_results = group.len().min(ctx.threads()).max(1);
                         let result = ctx
                             .map_reduce_chunks(
@@ -226,29 +225,22 @@ impl EdenRt {
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
                         // Each process receives its own full copy of `data`.
                         let data: D = ctx.sequential(|| {
-                            triolet_serial::unpack_all(packed(&data))
-                                .expect("full-copy roundtrip")
+                            triolet_serial::unpack_all(packed(&data)).expect("full-copy roundtrip")
                         });
                         let procs = len.min(ctx.threads()).max(1);
                         // The remaining procs-1 copies are modeled (one
                         // genuine roundtrip above measures the CPU cost).
-                        ctx.charge_seconds(
-                            group_transfer_time(local_cost, data_bytes, procs.saturating_sub(1)),
-                        );
-                        let task_ids: Vec<usize> = (start..start + len).collect();
-                        let result = ctx
-                            .map_reduce_chunks(
-                                task_ids,
-                                |&tid: &usize| work(&data, tid),
-                                merge,
-                            )
-                            .unwrap_or_else(empty);
-                        let result_bytes = result.packed_size();
                         ctx.charge_seconds(group_transfer_time(
                             local_cost,
-                            result_bytes,
-                            procs,
+                            data_bytes,
+                            procs.saturating_sub(1),
                         ));
+                        let task_ids: Vec<usize> = (start..start + len).collect();
+                        let result = ctx
+                            .map_reduce_chunks(task_ids, |&tid: &usize| work(&data, tid), merge)
+                            .unwrap_or_else(empty);
+                        let result_bytes = result.packed_size();
+                        ctx.charge_seconds(group_transfer_time(local_cost, result_bytes, procs));
                         result
                     }),
                 }
@@ -281,12 +273,7 @@ mod tests {
         let inputs: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64; 100]).collect();
         let expect: u64 = inputs.iter().flatten().sum();
         let (total, stats) = rt
-            .map_reduce(
-                inputs,
-                |chunk| chunk.iter().sum::<u64>(),
-                |a, b| a + b,
-                || 0u64,
-            )
+            .map_reduce(inputs, |chunk| chunk.iter().sum::<u64>(), |a, b| a + b, || 0u64)
             .unwrap();
         assert_eq!(total, expect);
         assert!(stats.bytes_out > 0);
@@ -320,23 +307,11 @@ mod tests {
         let big: Vec<u8> = vec![0; 2 * DEFAULT_MSG_LIMIT];
         // Two nodes: the full copy exceeds the buffer -> error (paper §4.3).
         let rt2 = EdenRt::new(2, 2);
-        let r = rt2.map_reduce_full_copy(
-            big.clone(),
-            4,
-            |d, _| d.len() as u64,
-            |a, b| a + b,
-            || 0,
-        );
+        let r = rt2.map_reduce_full_copy(big.clone(), 4, |d, _| d.len() as u64, |a, b| a + b, || 0);
         assert!(matches!(r, Err(EdenError::MessageTooLarge { .. })));
         // One node: no inter-node message -> fine.
         let rt1 = EdenRt::new(1, 2);
-        let r = rt1.map_reduce_full_copy(
-            big,
-            4,
-            |d, _| d.len() as u64,
-            |a, b| a + b,
-            || 0,
-        );
+        let r = rt1.map_reduce_full_copy(big, 4, |d, _| d.len() as u64, |a, b| a + b, || 0);
         assert!(r.is_ok());
     }
 
@@ -352,12 +327,10 @@ mod tests {
             x
         };
         let inputs = |n: usize| -> Vec<Vec<u64>> { (0..n).map(|i| vec![i as u64; 8]).collect() };
-        let (_, s2) = EdenRt::new(2, 1)
-            .map_reduce(inputs(2), work, |a, b| a.wrapping_add(b), || 0)
-            .unwrap();
-        let (_, s8) = EdenRt::new(8, 1)
-            .map_reduce(inputs(8), work, |a, b| a.wrapping_add(b), || 0)
-            .unwrap();
+        let (_, s2) =
+            EdenRt::new(2, 1).map_reduce(inputs(2), work, |a, b| a.wrapping_add(b), || 0).unwrap();
+        let (_, s8) =
+            EdenRt::new(8, 1).map_reduce(inputs(8), work, |a, b| a.wrapping_add(b), || 0).unwrap();
         // Same per-node work; the 8-node run carries a larger straggler
         // surcharge relative to its span.
         let rel2 = s2.total_s / s2.compute_span_s();
@@ -368,9 +341,7 @@ mod tests {
     #[test]
     fn empty_inputs_yield_empty_value() {
         let rt = EdenRt::new(2, 2);
-        let (v, _) = rt
-            .map_reduce(Vec::<u64>::new(), |x| x, |a, b| a + b, || 77u64)
-            .unwrap();
+        let (v, _) = rt.map_reduce(Vec::<u64>::new(), |x| x, |a, b| a + b, || 77u64).unwrap();
         assert_eq!(v, 77);
     }
 }

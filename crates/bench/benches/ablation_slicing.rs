@@ -40,10 +40,7 @@ fn slicing_vs_full_copy(c: &mut Criterion) {
                     NODES * 2,
                     move |d, tid| {
                         let chunk = n / (NODES * 2);
-                        d[tid * chunk..(tid + 1) * chunk]
-                            .iter()
-                            .map(|&x| x as f64)
-                            .sum::<f64>()
+                        d[tid * chunk..(tid + 1) * chunk].iter().map(|&x| x as f64).sum::<f64>()
                     },
                     |a, b| a + b,
                     || 0.0f64,

@@ -9,7 +9,7 @@ use std::hint::black_box;
 use triolet::prelude::*;
 use triolet_apps::sgemm as app;
 use triolet_baselines::{EdenRt, LowLevelRt};
-use triolet_bench::apps::{workloads};
+use triolet_bench::apps::workloads;
 use triolet_bench::Scale;
 
 const SHAPES: &[(usize, usize)] = &[(1, 16), (4, 16), (8, 16)];

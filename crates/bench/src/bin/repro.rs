@@ -69,10 +69,31 @@ fn fig1() {
         "Figure 1: features of fusible virtual data structure encodings",
         &["encoding", "parallel", "zip", "filter", "nested traversal", "mutation"],
         &[
-            vec!["indexer".into(), "yes".into(), "yes".into(), "no".into(), "no".into(), "no".into()],
-            vec!["stepper".into(), "no".into(), "yes".into(), "yes".into(), "slow".into(), "no".into()],
+            vec![
+                "indexer".into(),
+                "yes".into(),
+                "yes".into(),
+                "no".into(),
+                "no".into(),
+                "no".into(),
+            ],
+            vec![
+                "stepper".into(),
+                "no".into(),
+                "yes".into(),
+                "yes".into(),
+                "slow".into(),
+                "no".into(),
+            ],
             vec!["fold".into(), "no".into(), "no".into(), "yes".into(), "yes".into(), "no".into()],
-            vec!["collector".into(), "no".into(), "no".into(), "yes".into(), "yes".into(), "yes".into()],
+            vec![
+                "collector".into(),
+                "no".into(),
+                "no".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+            ],
             vec![
                 "**hybrid (Triolet)**".into(),
                 "yes".into(),

@@ -27,17 +27,7 @@ impl Scale {
 /// 16 cores use one node with that many threads; beyond, full 16-thread
 /// nodes.
 pub fn core_points() -> Vec<(usize, usize)> {
-    vec![
-        (1, 1),
-        (1, 2),
-        (1, 4),
-        (1, 8),
-        (1, 16),
-        (2, 16),
-        (4, 16),
-        (6, 16),
-        (8, 16),
-    ]
+    vec![(1, 1), (1, 2), (1, 4), (1, 8), (1, 16), (2, 16), (4, 16), (6, 16), (8, 16)]
 }
 
 /// Median of `reps` timed runs of `f` (seconds). The first run warms up

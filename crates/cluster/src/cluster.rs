@@ -1,4 +1,13 @@
 //! The cluster itself: scatter work to nodes, gather results, account time.
+//!
+//! With an active [`FaultPlan`] the dispatcher also *recovers*: a rank that
+//! never acknowledges its task payload (scheduled drops, or a crash) is
+//! detected by timeout after the plan's retry budget, and the task is
+//! re-dispatched to the next surviving rank. Because the fault schedule is
+//! a pure function of the plan's seed, the routing decisions are made
+//! before any task executes, so each `FnOnce` task body runs exactly once —
+//! on whichever rank finally receives it — and results come back in task
+//! order, bit-identical to a fault-free run.
 
 use std::time::Instant;
 
@@ -6,7 +15,20 @@ use triolet_pool::ThreadPool;
 use triolet_serial::{packed, unpack_all, Wire};
 
 use crate::cost::{CostModel, DistTiming, TrafficStats};
+use crate::fault::FaultPlan;
 use crate::node::{ExecMode, NodeCtx};
+
+/// Pseudo-rank of the root in fault-schedule coordinates (the root is not a
+/// cluster rank; any value outside `0..nodes` works, this one is obvious).
+const ROOT: usize = usize::MAX;
+/// Fault-schedule tag for root -> node task payloads.
+const FWD_TAG: u32 = 0;
+/// Fault-schedule tag for node -> root results.
+const RET_TAG: u32 = 1;
+/// Attempt cap on the return path. Executing ranks are alive by
+/// construction and the root never gives up on them, so only a plan with a
+/// drop rate of essentially 1.0 can hit this.
+const RETURN_ATTEMPT_CAP: u32 = 10_000;
 
 /// Cluster shape and cost parameters.
 #[derive(Debug, Clone, Copy)]
@@ -19,6 +41,8 @@ pub struct ClusterConfig {
     pub mode: ExecMode,
     /// Inter-node transfer cost model.
     pub cost: CostModel,
+    /// Injected-fault schedule ([`FaultPlan::none`] by default).
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -29,6 +53,7 @@ impl ClusterConfig {
             threads_per_node: threads_per_node.max(1),
             mode: ExecMode::Virtual,
             cost: CostModel::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -39,12 +64,19 @@ impl ClusterConfig {
             threads_per_node: threads_per_node.max(1),
             mode: ExecMode::Measured,
             cost: CostModel::default(),
+            faults: FaultPlan::none(),
         }
     }
 
     /// Replace the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Replace the fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -57,7 +89,8 @@ impl ClusterConfig {
 /// Results of one distributed operation, with its timing breakdown.
 #[derive(Debug)]
 pub struct DistOutcome<R> {
-    /// One result per participating node, in node order.
+    /// One result per task, in task order (under faults a task's result may
+    /// have been computed on a different rank than its index).
     pub results: Vec<R>,
     /// Timing and traffic breakdown.
     pub timing: DistTiming,
@@ -70,6 +103,128 @@ pub struct RawTask<'a, R> {
     pub wire_bytes: usize,
     /// The node task; must route compute through the [`NodeCtx`].
     pub work: Box<dyn FnOnce(&NodeCtx<'_>) -> R + Send + 'a>,
+}
+
+/// How one task's payload traveled from the root: one entry per rank tried.
+struct Hop {
+    /// Transmission attempts to this rank (1 + retries).
+    attempts: u32,
+    /// Attempts that additionally arrived twice.
+    dups: u32,
+    /// Attempts lost in flight.
+    drops: u32,
+    /// Attempts damaged in flight.
+    corrupts: u32,
+    /// Whether the final attempt arrived intact (false => moved on).
+    delivered: bool,
+}
+
+impl Hop {
+    fn failed_attempts(&self) -> u32 {
+        self.attempts - u32::from(self.delivered)
+    }
+}
+
+/// The full (pre-computed, deterministic) route of one task.
+struct TaskRoute {
+    /// The rank that finally executes the task.
+    exec: usize,
+    hops: Vec<Hop>,
+    retries: u64,
+    redispatches: u64,
+}
+
+/// The result's trip back to the root.
+struct ReturnRoute {
+    attempts: u32,
+    dups: u32,
+    drops: u32,
+    corrupts: u32,
+}
+
+/// Decide, purely from the fault schedule, where task `i` ends up running.
+/// Candidates are tried in order: the task's home rank `i` first, then the
+/// surviving ranks after it (wrapping), each with the plan's full retry
+/// budget. Moving to the next candidate is one redispatch.
+fn plan_route(plan: &FaultPlan, n_nodes: usize, i: usize) -> TaskRoute {
+    if !plan.is_active() {
+        return TaskRoute {
+            exec: i,
+            hops: vec![Hop { attempts: 1, dups: 0, drops: 0, corrupts: 0, delivered: true }],
+            retries: 0,
+            redispatches: 0,
+        };
+    }
+    let mut candidates = vec![i];
+    for off in 1..n_nodes {
+        let r = (i + off) % n_nodes;
+        if !plan.crashed(r) {
+            candidates.push(r);
+        }
+    }
+    let mut hops = Vec::new();
+    let mut retries = 0u64;
+    for (ci, &dest) in candidates.iter().enumerate() {
+        let mut hop = Hop { attempts: 0, dups: 0, drops: 0, corrupts: 0, delivered: false };
+        for attempt in 0..=plan.max_retries {
+            hop.attempts += 1;
+            retries += u64::from(attempt > 0);
+            let d = plan.decide(ROOT, dest, FWD_TAG, i as u64, attempt);
+            if !d.deliver {
+                hop.drops += 1;
+                continue;
+            }
+            if d.duplicate {
+                hop.dups += 1;
+            }
+            if d.corrupt {
+                hop.corrupts += 1;
+                continue;
+            }
+            if !plan.crashed(dest) {
+                hop.delivered = true;
+                break;
+            }
+            // Crashed ranks receive but never acknowledge: keep retrying.
+        }
+        let delivered = hop.delivered;
+        hops.push(hop);
+        if delivered {
+            return TaskRoute { exec: dest, hops, retries, redispatches: ci as u64 };
+        }
+    }
+    panic!(
+        "fault plan leaves no route for task {i}: \
+         every surviving candidate exhausted its retry budget"
+    );
+}
+
+/// Decide how many attempts task `i`'s result needs to reach the root from
+/// `exec`. Both endpoints are alive, so the sender retries past the normal
+/// budget rather than declaring the root dead.
+fn plan_return(plan: &FaultPlan, exec: usize, i: usize) -> ReturnRoute {
+    let mut ret = ReturnRoute { attempts: 0, dups: 0, drops: 0, corrupts: 0 };
+    if !plan.is_active() {
+        ret.attempts = 1;
+        return ret;
+    }
+    for attempt in 0..RETURN_ATTEMPT_CAP {
+        ret.attempts += 1;
+        let d = plan.decide(exec, ROOT, RET_TAG, i as u64, attempt);
+        if !d.deliver {
+            ret.drops += 1;
+            continue;
+        }
+        if d.duplicate {
+            ret.dups += 1;
+        }
+        if d.corrupt {
+            ret.corrupts += 1;
+            continue;
+        }
+        return ret;
+    }
+    panic!("fault plan never lets task {i}'s result reach the root");
 }
 
 /// A simulated cluster of multicore nodes.
@@ -137,10 +292,26 @@ impl Cluster {
             payloads.len(),
             self.config.nodes
         );
-        match self.config.mode {
-            ExecMode::Virtual => self.run_virtual(payloads, task),
-            ExecMode::Measured => self.run_measured(payloads, task),
-        }
+        // Root packs every outgoing message (the paper observed message
+        // construction itself becoming a bottleneck for sgemm — we charge
+        // it).
+        let t0 = Instant::now();
+        let out_msgs: Vec<bytes::Bytes> = payloads.iter().map(packed).collect();
+        let root_pack_s = t0.elapsed().as_secs_f64();
+        drop(payloads);
+        let task = &task;
+        let tasks: Vec<RawTask<'_, R>> = out_msgs
+            .into_iter()
+            .map(|msg| RawTask {
+                wire_bytes: msg.len(),
+                work: Box::new(move |ctx: &NodeCtx<'_>| {
+                    // Deserialization happens on the node: charge it.
+                    let payload: T = ctx.sequential(|| unpack_all(msg).expect("payload roundtrip"));
+                    task(ctx, payload)
+                }),
+            })
+            .collect();
+        self.dispatch(tasks, root_pack_s)
     }
 
     /// Run the same (cloned) payload on every node: the broadcast pattern.
@@ -172,49 +343,143 @@ impl Cluster {
             tasks.len(),
             self.config.nodes
         );
+        self.dispatch(tasks, 0.0)
+    }
+
+    /// The one dispatcher behind `run` and `run_raw`: plan every task's
+    /// route through the fault schedule, execute each task once on its
+    /// final rank, account all traffic (including lost/duplicated attempts
+    /// and retransmissions), and gather results in task order.
+    fn dispatch<'a, R>(&self, tasks: Vec<RawTask<'a, R>>, root_prep_s: f64) -> DistOutcome<R>
+    where
+        R: Wire + Send,
+    {
+        let plan = self.config.faults;
+        let n_nodes = self.config.nodes;
+        let n_tasks = tasks.len();
+        if plan.is_active() {
+            assert!(
+                (0..n_nodes).any(|r| !plan.crashed(r)),
+                "fault plan crashes every node: nothing can recover"
+            );
+        }
+        let routes: Vec<TaskRoute> = (0..n_tasks).map(|i| plan_route(&plan, n_nodes, i)).collect();
+
+        // Forward-path traffic and fault-event accounting (mode-independent:
+        // the schedule, not the executor, decides what happens on the wire).
+        let mut bytes_out = 0u64;
+        let mut messages = 0u64;
+        let mut retries = 0u64;
+        let mut redispatches = 0u64;
+        for (t, route) in tasks.iter().zip(&routes) {
+            let w = t.wire_bytes;
+            for hop in &route.hops {
+                let copies = (hop.attempts + hop.dups) as u64;
+                for _ in 0..copies {
+                    self.stats.record(w);
+                }
+                messages += copies;
+                bytes_out += w as u64 * copies;
+                for _ in 0..hop.drops {
+                    self.stats.record_dropped();
+                }
+                for _ in 0..hop.corrupts {
+                    self.stats.record_corrupted();
+                }
+                for _ in 0..hop.dups {
+                    self.stats.record_duplicated();
+                }
+            }
+            for _ in 0..route.retries {
+                self.stats.record_retry();
+            }
+            for _ in 0..route.redispatches {
+                self.stats.record_redispatch();
+            }
+            retries += route.retries;
+            redispatches += route.redispatches;
+        }
+
+        let cost = self.config.cost;
+        let timeout_s = plan.timeout.as_secs_f64();
+        let tpn = self.config.threads_per_node;
+
         match self.config.mode {
             ExecMode::Virtual => {
-                let cost = self.config.cost;
-                let mut clock = 0.0f64;
+                // Root sends sequentially (single NIC): task i's payload
+                // lands only after every earlier attempt — including each
+                // failed attempt's ack timeout — has passed.
+                let mut clock = root_prep_s;
                 let mut comm_s = 0.0f64;
-                let mut bytes_out = 0u64;
-                let mut send_done = Vec::with_capacity(tasks.len());
-                for t in &tasks {
-                    self.stats.record(t.wire_bytes);
+                let mut send_done = Vec::with_capacity(n_tasks);
+                for (t, route) in tasks.iter().zip(&routes) {
                     let dt = cost.transfer_time(t.wire_bytes);
-                    clock += dt;
-                    comm_s += dt;
-                    bytes_out += t.wire_bytes as u64;
+                    for hop in &route.hops {
+                        let hop_s = dt * (hop.attempts + hop.dups) as f64
+                            + timeout_s * hop.failed_attempts() as f64;
+                        clock += hop_s;
+                        comm_s += hop_s;
+                    }
                     send_done.push(clock);
                 }
-                let mut results_bytes = Vec::with_capacity(tasks.len());
-                let mut node_compute = Vec::with_capacity(tasks.len());
-                for (rank, t) in tasks.into_iter().enumerate() {
-                    let ctx =
-                        NodeCtx::new(rank, self.config.threads_per_node, ExecMode::Virtual, None);
+
+                // Nodes execute one at a time (they share nothing); tasks
+                // landing on the same survivor serialize on its clock.
+                let mut node_free = vec![0.0f64; n_nodes];
+                let mut node_compute = vec![0.0f64; n_nodes];
+                let mut done_at = Vec::with_capacity(n_tasks);
+                let mut results_bytes = Vec::with_capacity(n_tasks);
+                for (i, t) in tasks.into_iter().enumerate() {
+                    let exec = routes[i].exec;
+                    let ctx = NodeCtx::new(exec, tpn, ExecMode::Virtual, None);
                     let result = (t.work)(&ctx);
                     let rb = ctx.sequential(|| packed(&result));
-                    node_compute.push(ctx.elapsed());
+                    let elapsed = ctx.elapsed();
+                    let done = send_done[i].max(node_free[exec]) + elapsed;
+                    node_free[exec] = done;
+                    node_compute[exec] += elapsed;
+                    done_at.push(done);
                     results_bytes.push(rb);
                 }
+
+                // Results stream back; each attempt pays a transfer and
+                // each failed attempt an ack timeout before the retry.
                 let mut finish = 0.0f64;
                 let mut bytes_back = 0u64;
-                for ((done, compute), rb) in
-                    send_done.iter().zip(&node_compute).zip(&results_bytes)
-                {
-                    self.stats.record(rb.len());
-                    let dt = cost.transfer_time(rb.len());
-                    comm_s += dt;
-                    bytes_back += rb.len() as u64;
-                    finish = finish.max(done + compute + dt);
+                for (i, rb) in results_bytes.iter().enumerate() {
+                    let ret = plan_return(&plan, routes[i].exec, i);
+                    let copies = (ret.attempts + ret.dups) as u64;
+                    for _ in 0..copies {
+                        self.stats.record(rb.len());
+                    }
+                    messages += copies;
+                    bytes_back += rb.len() as u64 * copies;
+                    for _ in 0..ret.drops {
+                        self.stats.record_dropped();
+                    }
+                    for _ in 0..ret.corrupts {
+                        self.stats.record_corrupted();
+                    }
+                    for _ in 0..ret.dups {
+                        self.stats.record_duplicated();
+                    }
+                    let failed = (ret.attempts - 1) as u64;
+                    for _ in 0..failed {
+                        self.stats.record_retry();
+                    }
+                    retries += failed;
+                    let path_s =
+                        cost.transfer_time(rb.len()) * copies as f64 + timeout_s * failed as f64;
+                    comm_s += path_s;
+                    finish = finish.max(done_at[i] + path_s);
                 }
+
                 let t1 = Instant::now();
                 let results: Vec<R> = results_bytes
                     .into_iter()
                     .map(|rb| unpack_all(rb).expect("result roundtrip"))
                     .collect();
                 let root_unpack_s = t1.elapsed().as_secs_f64();
-                let messages = 2 * node_compute.len() as u64;
                 DistOutcome {
                     results,
                     timing: DistTiming {
@@ -224,188 +489,92 @@ impl Cluster {
                         bytes_out,
                         bytes_back,
                         messages,
+                        retries,
+                        redispatches,
                     },
                 }
             }
             ExecMode::Measured => {
                 let t_start = Instant::now();
-                let n = tasks.len();
-                let mut bytes_out = 0u64;
-                for t in &tasks {
-                    self.stats.record(t.wire_bytes);
-                    bytes_out += t.wire_bytes as u64;
+                // Group tasks by executing rank; each group runs in task
+                // order on its rank's real thread pool.
+                let mut groups: Vec<Vec<(usize, RawTask<'a, R>)>> =
+                    (0..n_nodes).map(|_| Vec::new()).collect();
+                for (i, t) in tasks.into_iter().enumerate() {
+                    groups[routes[i].exec].push((i, t));
                 }
                 let pools = &self.pools;
-                let tpn = self.config.threads_per_node;
-                let mut slots: Vec<Option<(bytes::Bytes, f64)>> = (0..n).map(|_| None).collect();
+                let mut slots: Vec<Option<(bytes::Bytes, f64)>> =
+                    (0..n_tasks).map(|_| None).collect();
+                let mut node_compute = vec![0.0f64; n_nodes];
                 std::thread::scope(|s| {
                     let mut handles = Vec::new();
-                    for (rank, t) in tasks.into_iter().enumerate() {
+                    for (rank, group) in groups.into_iter().enumerate() {
+                        if group.is_empty() {
+                            continue;
+                        }
                         let pool = &pools[rank];
                         handles.push(s.spawn(move || {
-                            let ctx = NodeCtx::new(rank, tpn, ExecMode::Measured, Some(pool));
-                            let result = (t.work)(&ctx);
-                            let rb = ctx.sequential(|| packed(&result));
-                            (rb, ctx.elapsed())
+                            group
+                                .into_iter()
+                                .map(|(i, t)| {
+                                    let ctx =
+                                        NodeCtx::new(rank, tpn, ExecMode::Measured, Some(pool));
+                                    let result = (t.work)(&ctx);
+                                    let rb = ctx.sequential(|| packed(&result));
+                                    (rank, i, rb, ctx.elapsed())
+                                })
+                                .collect::<Vec<_>>()
                         }));
                     }
-                    for (rank, h) in handles.into_iter().enumerate() {
-                        slots[rank] = Some(h.join().expect("node task must not panic"));
+                    for h in handles {
+                        for (rank, i, rb, secs) in h.join().expect("node task must not panic") {
+                            node_compute[rank] += secs;
+                            slots[i] = Some((rb, secs));
+                        }
                     }
                 });
-                let mut results = Vec::with_capacity(n);
-                let mut node_compute = Vec::with_capacity(n);
+                let mut results = Vec::with_capacity(n_tasks);
                 let mut bytes_back = 0u64;
-                for slot in slots {
-                    let (rb, secs) = slot.expect("every node produced a result");
-                    self.stats.record(rb.len());
-                    bytes_back += rb.len() as u64;
-                    node_compute.push(secs);
+                for (i, slot) in slots.into_iter().enumerate() {
+                    let (rb, _) = slot.expect("every task produced a result");
+                    let ret = plan_return(&plan, routes[i].exec, i);
+                    let copies = (ret.attempts + ret.dups) as u64;
+                    for _ in 0..copies {
+                        self.stats.record(rb.len());
+                    }
+                    messages += copies;
+                    bytes_back += rb.len() as u64 * copies;
+                    for _ in 0..ret.drops {
+                        self.stats.record_dropped();
+                    }
+                    for _ in 0..ret.corrupts {
+                        self.stats.record_corrupted();
+                    }
+                    for _ in 0..ret.dups {
+                        self.stats.record_duplicated();
+                    }
+                    let failed = (ret.attempts - 1) as u64;
+                    for _ in 0..failed {
+                        self.stats.record_retry();
+                    }
+                    retries += failed;
                     results.push(unpack_all(rb).expect("result roundtrip"));
                 }
                 DistOutcome {
                     results,
                     timing: DistTiming {
-                        total_s: t_start.elapsed().as_secs_f64(),
-                        comm_s: 0.0,
+                        total_s: root_prep_s + t_start.elapsed().as_secs_f64(),
+                        comm_s: 0.0, // real transfers are in-process; wall time covers them
                         node_compute_s: node_compute,
                         bytes_out,
                         bytes_back,
-                        messages: 2 * n as u64,
+                        messages,
+                        retries,
+                        redispatches,
                     },
                 }
             }
-        }
-    }
-
-    fn run_virtual<T, R, F>(&self, payloads: Vec<T>, task: F) -> DistOutcome<R>
-    where
-        T: Wire + Send,
-        R: Wire + Send,
-        F: Fn(&NodeCtx<'_>, T) -> R + Send + Sync,
-    {
-        let cost = self.config.cost;
-        // Root packs every outgoing message (the paper observed message
-        // construction itself becoming a bottleneck for sgemm — we charge
-        // it).
-        let t0 = Instant::now();
-        let out_msgs: Vec<bytes::Bytes> = payloads.iter().map(packed).collect();
-        let root_pack_s = t0.elapsed().as_secs_f64();
-        drop(payloads);
-
-        // Root sends sequentially; node i's payload lands after all earlier
-        // sends complete (single NIC at the root).
-        let mut send_done = Vec::with_capacity(out_msgs.len());
-        let mut clock = root_pack_s;
-        let mut comm_s = 0.0;
-        for m in &out_msgs {
-            self.stats.record(m.len());
-            let dt = cost.transfer_time(m.len());
-            clock += dt;
-            comm_s += dt;
-            send_done.push(clock);
-        }
-        let bytes_out: u64 = out_msgs.iter().map(|m| m.len() as u64).sum();
-
-        // Nodes execute one at a time (they share nothing); each is timed.
-        let mut results_bytes = Vec::with_capacity(out_msgs.len());
-        let mut node_compute = Vec::with_capacity(out_msgs.len());
-        for (rank, msg) in out_msgs.into_iter().enumerate() {
-            let ctx = NodeCtx::new(rank, self.config.threads_per_node, ExecMode::Virtual, None);
-            // Deserialization happens on the node: charge it.
-            let payload: T = ctx.sequential(|| unpack_all(msg).expect("payload roundtrip"));
-            let result = task(&ctx, payload);
-            let rbytes = ctx.sequential(|| packed(&result));
-            node_compute.push(ctx.elapsed());
-            results_bytes.push(rbytes);
-        }
-
-        // Results stream back; each node's arrival is its finish plus its
-        // own transfer; the root then unpacks.
-        let mut finish = 0.0f64;
-        let mut bytes_back = 0u64;
-        for ((done, compute), rb) in send_done.iter().zip(&node_compute).zip(&results_bytes) {
-            self.stats.record(rb.len());
-            let dt = cost.transfer_time(rb.len());
-            comm_s += dt;
-            bytes_back += rb.len() as u64;
-            finish = finish.max(done + compute + dt);
-        }
-        let t1 = Instant::now();
-        let results: Vec<R> = results_bytes
-            .into_iter()
-            .map(|rb| unpack_all(rb).expect("result roundtrip"))
-            .collect();
-        let root_unpack_s = t1.elapsed().as_secs_f64();
-
-        let messages = 2 * node_compute.len() as u64;
-        DistOutcome {
-            results,
-            timing: DistTiming {
-                total_s: finish + root_unpack_s,
-                comm_s,
-                node_compute_s: node_compute,
-                bytes_out,
-                bytes_back,
-                messages,
-            },
-        }
-    }
-
-    fn run_measured<T, R, F>(&self, payloads: Vec<T>, task: F) -> DistOutcome<R>
-    where
-        T: Wire + Send,
-        R: Wire + Send,
-        F: Fn(&NodeCtx<'_>, T) -> R + Send + Sync,
-    {
-        let t_start = Instant::now();
-        let out_msgs: Vec<bytes::Bytes> = payloads.iter().map(packed).collect();
-        let bytes_out: u64 = out_msgs.iter().map(|m| m.len() as u64).sum();
-        for m in &out_msgs {
-            self.stats.record(m.len());
-        }
-        let n = out_msgs.len();
-        let task = &task;
-        let pools = &self.pools;
-        let tpn = self.config.threads_per_node;
-        let mut slots: Vec<Option<(bytes::Bytes, f64)>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for (rank, msg) in out_msgs.into_iter().enumerate() {
-                let pool = &pools[rank];
-                handles.push(s.spawn(move || {
-                    let ctx = NodeCtx::new(rank, tpn, ExecMode::Measured, Some(pool));
-                    let payload: T =
-                        ctx.sequential(|| unpack_all(msg).expect("payload roundtrip"));
-                    let result = task(&ctx, payload);
-                    let rbytes = ctx.sequential(|| packed(&result));
-                    (rbytes, ctx.elapsed())
-                }));
-            }
-            for (rank, h) in handles.into_iter().enumerate() {
-                slots[rank] = Some(h.join().expect("node task must not panic"));
-            }
-        });
-        let mut results = Vec::with_capacity(n);
-        let mut node_compute = Vec::with_capacity(n);
-        let mut bytes_back = 0u64;
-        for slot in slots {
-            let (rb, secs) = slot.expect("every node produced a result");
-            self.stats.record(rb.len());
-            bytes_back += rb.len() as u64;
-            node_compute.push(secs);
-            results.push(unpack_all(rb).expect("result roundtrip"));
-        }
-        DistOutcome {
-            results,
-            timing: DistTiming {
-                total_s: t_start.elapsed().as_secs_f64(),
-                comm_s: 0.0, // real transfers are in-process; wall time covers them
-                node_compute_s: node_compute,
-                bytes_out,
-                bytes_back,
-                messages: 2 * n as u64,
-            },
         }
     }
 }
@@ -413,6 +582,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn virtual_run_scatters_and_gathers() {
@@ -424,6 +594,8 @@ mod tests {
         });
         assert_eq!(out.results, vec![0, 1010, 2020, 3030]);
         assert_eq!(out.timing.messages, 8);
+        assert_eq!(out.timing.retries, 0);
+        assert_eq!(out.timing.redispatches, 0);
         assert!(out.timing.bytes_out > 0);
         assert_eq!(cluster.stats().messages(), 8);
     }
@@ -441,9 +613,8 @@ mod tests {
     #[test]
     fn broadcast_clones_payload_per_node() {
         let cluster = Cluster::new(ClusterConfig::virtual_cluster(3, 1));
-        let out = cluster.run_broadcast(vec![1u32, 2, 3], |ctx, v: Vec<u32>| {
-            v[ctx.rank() % 3] as u64
-        });
+        let out =
+            cluster.run_broadcast(vec![1u32, 2, 3], |ctx, v: Vec<u32>| v[ctx.rank() % 3] as u64);
         assert_eq!(out.results, vec![1, 2, 3]);
         // Broadcast ships the payload once per node.
         let one = (vec![1u32, 2, 3]).packed_size() as u64;
@@ -479,9 +650,8 @@ mod tests {
     #[test]
     fn free_cost_model_zero_comm() {
         let cfg = ClusterConfig::virtual_cluster(2, 1).with_cost(CostModel::free());
-        let out = Cluster::new(cfg).run(vec![vec![0u8; 1000], vec![0u8; 1000]], |_c, v: Vec<u8>| {
-            v.len() as u64
-        });
+        let out = Cluster::new(cfg)
+            .run(vec![vec![0u8; 1000], vec![0u8; 1000]], |_c, v: Vec<u8>| v.len() as u64);
         assert_eq!(out.timing.comm_s, 0.0);
     }
 
@@ -494,5 +664,72 @@ mod tests {
         });
         assert!(out.timing.node_compute_s.iter().all(|&t| t >= 0.003));
         assert!(out.timing.total_s >= 0.003);
+    }
+
+    fn lossy_plan(seed: u64) -> FaultPlan {
+        FaultPlan::seeded(seed)
+            .with_drop(0.3)
+            .with_duplication(0.1)
+            .with_corruption(0.05)
+            .with_timeout(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn lossy_virtual_run_matches_fault_free_results() {
+        let payloads: Vec<Vec<u64>> = (0..4).map(|i| (0..50u64).map(|x| x * i).collect()).collect();
+        let task = |_ctx: &NodeCtx<'_>, v: Vec<u64>| v.iter().sum::<u64>();
+        let clean = Cluster::new(ClusterConfig::virtual_cluster(4, 2)).run(payloads.clone(), task);
+        let faulty = Cluster::new(ClusterConfig::virtual_cluster(4, 2).with_faults(lossy_plan(42)))
+            .run(payloads, task);
+        assert_eq!(clean.results, faulty.results, "faults must not change results");
+        assert!(faulty.timing.retries > 0, "a 30% drop rate over 8 transfers must retry");
+        assert!(faulty.timing.messages > clean.timing.messages);
+        assert!(faulty.timing.bytes_out > clean.timing.bytes_out);
+        assert!(faulty.timing.comm_s > clean.timing.comm_s, "faults must cost modeled time");
+    }
+
+    #[test]
+    fn crashed_rank_tasks_are_redispatched() {
+        let plan = FaultPlan::seeded(7).with_crash(1).with_timeout(Duration::from_millis(1));
+        let cfg = ClusterConfig::virtual_cluster(4, 2).with_faults(plan);
+        let cluster = Cluster::new(cfg);
+        let out = cluster.run(vec![10u64, 20, 30, 40], |_ctx, x: u64| x * 2);
+        assert_eq!(out.results, vec![20, 40, 60, 80], "task order survives redispatch");
+        assert!(out.timing.redispatches >= 1, "rank 1's task must move to a survivor");
+        assert_eq!(cluster.stats().redispatches(), out.timing.redispatches);
+        // The crashed rank computed nothing.
+        assert_eq!(out.timing.node_compute_s[1], 0.0);
+    }
+
+    #[test]
+    fn crashed_rank_tasks_are_redispatched_measured() {
+        let plan = FaultPlan::seeded(7).with_crash(0).with_timeout(Duration::from_millis(1));
+        let cfg = ClusterConfig::measured(3, 2).with_faults(plan);
+        let cluster = Cluster::new(cfg);
+        let out = cluster.run(vec![1u64, 2, 3], |_ctx, x: u64| x + 100);
+        assert_eq!(out.results, vec![101, 102, 103]);
+        assert!(out.timing.redispatches >= 1);
+        assert_eq!(out.timing.node_compute_s[0], 0.0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let payloads: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64; 20]).collect();
+        let task = |_ctx: &NodeCtx<'_>, v: Vec<u64>| v.iter().sum::<u64>();
+        let cfg = ClusterConfig::virtual_cluster(4, 2).with_faults(lossy_plan(5));
+        let a = Cluster::new(cfg).run(payloads.clone(), task);
+        let b = Cluster::new(cfg).run(payloads, task);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.timing.messages, b.timing.messages);
+        assert_eq!(a.timing.retries, b.timing.retries);
+        assert_eq!(a.timing.redispatches, b.timing.redispatches);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashes every node")]
+    fn all_crashed_plan_is_rejected() {
+        let plan = FaultPlan::seeded(1).with_crash(0).with_crash(1);
+        let cluster = Cluster::new(ClusterConfig::virtual_cluster(2, 1).with_faults(plan));
+        let _ = cluster.run(vec![1u64, 2], |_ctx, x: u64| x);
     }
 }

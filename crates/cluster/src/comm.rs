@@ -10,15 +10,45 @@
 //! message-passing layer cannot buffer arbitrarily large messages (the
 //! paper's Eden comparison "fails at 2 nodes because the array data is too
 //! large for Eden's message-passing runtime to buffer", §4.3).
+//!
+//! # Reliability under faults
+//!
+//! A communicator created with an active [`FaultPlan`] runs a
+//! sequence-number/acknowledgement protocol on every data message:
+//!
+//! * each message carries a per-(sender, destination) sequence number and a
+//!   payload checksum;
+//! * the sender retransmits until it sees an ack or exhausts
+//!   `plan.max_retries`, then reports [`CommError::NodeDown`] (destination
+//!   scheduled as crashed) or [`CommError::Timeout`];
+//! * the receiver discards corrupted copies (checksum mismatch — they are
+//!   recovered by retransmission, so delivered data is always intact),
+//!   acknowledges every valid arrival, and deduplicates replays by
+//!   `(sender, seq)`.
+//!
+//! Acks travel on a dedicated control channel and are not themselves
+//! subject to injected faults — the model stresses the data plane; a lost
+//! ack is still exercised indirectly whenever a data retransmission races a
+//! late ack.
 
+use std::cell::RefCell;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use triolet_serial::{packed, unpack_all, Wire};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use triolet_serial::{packed, unpack_all, Wire, WireError};
 
 use crate::cost::TrafficStats;
+use crate::fault::{payload_checksum, FaultPlan};
+
+/// Tag bit reserved for internal reply traffic (e.g. the broadcast leg of
+/// [`CommHandle::all_reduce`]). User tags must leave it clear; collectives
+/// derive their reply tags inside this namespace so a user message tagged
+/// `t + 1` can never be mistaken for the reply to a collective tagged `t`.
+pub const REPLY_TAG_BIT: u32 = 1 << 31;
 
 /// Errors surfaced by the message layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +57,12 @@ pub enum CommError {
     MessageTooLarge { bytes: usize, limit: usize },
     /// The peer hung up (rank dropped its handle).
     Disconnected,
+    /// No message (or acknowledgement) from `rank` within the deadline.
+    Timeout { rank: usize, tag: u32 },
+    /// The payload arrived but did not decode as the requested type.
+    Decode(WireError),
+    /// `rank` was declared dead after exhausting the retransmission budget.
+    NodeDown { rank: usize },
 }
 
 impl fmt::Display for CommError {
@@ -36,53 +72,88 @@ impl fmt::Display for CommError {
                 write!(f, "message of {bytes} bytes exceeds buffer limit of {limit}")
             }
             CommError::Disconnected => write!(f, "peer disconnected"),
+            CommError::Timeout { rank, tag } => {
+                write!(f, "timed out waiting on rank {rank} (tag {tag})")
+            }
+            CommError::Decode(e) => write!(f, "payload failed to decode: {e}"),
+            CommError::NodeDown { rank } => write!(f, "rank {rank} is down"),
         }
     }
 }
 
 impl std::error::Error for CommError {}
 
+impl From<WireError> for CommError {
+    fn from(e: WireError) -> Self {
+        CommError::Decode(e)
+    }
+}
+
 struct Msg {
     from: usize,
     tag: u32,
+    seq: u64,
+    checksum: u64,
     payload: Bytes,
+}
+
+/// Acknowledgement of one data message; `from` is the acknowledging rank.
+struct Ack {
+    from: usize,
+    tag: u32,
+    seq: u64,
 }
 
 /// Factory for a communicator of `n` ranks.
 pub struct Comm;
 
 impl Comm {
-    /// Create handles for `n` ranks with unlimited message size.
+    /// Create handles for `n` ranks with unlimited message size and no
+    /// injected faults.
     pub fn create(n: usize) -> Vec<CommHandle> {
-        Self::create_with(n, None, Arc::new(TrafficStats::new()))
+        Self::create_with(n, None, Arc::new(TrafficStats::new()), FaultPlan::none())
     }
 
-    /// Create handles with an optional per-message byte limit and shared
-    /// traffic counters.
+    /// Create handles with an optional per-message byte limit, shared
+    /// traffic counters, and a fault schedule. With an inactive plan the
+    /// handles behave exactly like the pre-fault-layer communicator.
     pub fn create_with(
         n: usize,
         max_msg_bytes: Option<usize>,
         stats: Arc<TrafficStats>,
+        faults: FaultPlan,
     ) -> Vec<CommHandle> {
         let n = n.max(1);
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
+        let mut ack_senders = Vec::with_capacity(n);
+        let mut ack_receivers = Vec::with_capacity(n);
         for _ in 0..n {
             let (s, r) = unbounded::<Msg>();
             senders.push(s);
             receivers.push(r);
+            let (s, r) = unbounded::<Ack>();
+            ack_senders.push(s);
+            ack_receivers.push(r);
         }
         receivers
             .into_iter()
+            .zip(ack_receivers)
             .enumerate()
-            .map(|(rank, rx)| CommHandle {
+            .map(|(rank, (rx, ack_rx))| CommHandle {
                 rank,
                 n,
                 senders: senders.clone(),
                 rx,
+                ack_senders: ack_senders.clone(),
+                ack_rx,
                 pending: Vec::new(),
+                stale_acks: RefCell::new(Vec::new()),
+                next_seq: RefCell::new(vec![0; n]),
+                seen: HashSet::new(),
                 max_msg_bytes,
                 stats: Arc::clone(&stats),
+                faults,
             })
             .collect()
     }
@@ -94,9 +165,19 @@ pub struct CommHandle {
     n: usize,
     senders: Vec<Sender<Msg>>,
     rx: Receiver<Msg>,
+    ack_senders: Vec<Sender<Ack>>,
+    ack_rx: Receiver<Ack>,
     pending: Vec<Msg>,
+    /// Acks that arrived while waiting for a different one (late acks from
+    /// superseded retransmission rounds).
+    stale_acks: RefCell<Vec<Ack>>,
+    /// Next sequence number per destination. `RefCell` keeps `send(&self)`.
+    next_seq: RefCell<Vec<u64>>,
+    /// Delivered `(sender, seq)` pairs, for replay suppression.
+    seen: HashSet<(usize, u64)>,
     max_msg_bytes: Option<usize>,
     stats: Arc<TrafficStats>,
+    faults: FaultPlan,
 }
 
 impl CommHandle {
@@ -110,7 +191,14 @@ impl CommHandle {
         self.n
     }
 
-    /// Send `value` to `to` under `tag`.
+    /// The communicator's fault schedule.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Send `value` to `to` under `tag`. With an active fault plan this is
+    /// the reliable (ack + retransmit) path and only returns `Ok` once the
+    /// destination has acknowledged an intact copy.
     pub fn send<T: Wire>(&self, to: usize, tag: u32, value: &T) -> Result<(), CommError> {
         let payload = packed(value);
         if let Some(limit) = self.max_msg_bytes {
@@ -118,28 +206,165 @@ impl CommHandle {
                 return Err(CommError::MessageTooLarge { bytes: payload.len(), limit });
             }
         }
-        self.stats.record(payload.len());
-        self.senders[to]
-            .send(Msg { from: self.rank, tag, payload })
-            .map_err(|_| CommError::Disconnected)
+        let seq = {
+            let mut next = self.next_seq.borrow_mut();
+            let s = next[to];
+            next[to] += 1;
+            s
+        };
+        if !self.faults.is_active() {
+            self.stats.record(payload.len());
+            let checksum = payload_checksum(&payload);
+            return self.senders[to]
+                .send(Msg { from: self.rank, tag, seq, checksum, payload })
+                .map_err(|_| CommError::Disconnected);
+        }
+        self.send_reliable(to, tag, seq, payload)
+    }
+
+    /// Retransmit until acked or out of budget.
+    fn send_reliable(
+        &self,
+        to: usize,
+        tag: u32,
+        seq: u64,
+        payload: Bytes,
+    ) -> Result<(), CommError> {
+        let checksum = payload_checksum(&payload);
+        for attempt in 0..=self.faults.max_retries {
+            if attempt > 0 {
+                self.stats.record_retry();
+            }
+            let d = self.faults.decide(self.rank, to, tag, seq, attempt);
+            // The sender pays bandwidth for every attempt, delivered or not.
+            self.stats.record(payload.len());
+            if d.deliver {
+                let wire = if d.corrupt {
+                    self.stats.record_corrupted();
+                    corrupt_copy(&payload)
+                } else {
+                    payload.clone()
+                };
+                self.senders[to]
+                    .send(Msg { from: self.rank, tag, seq, checksum, payload: wire })
+                    .map_err(|_| CommError::Disconnected)?;
+                if d.duplicate {
+                    self.stats.record_duplicated();
+                    self.stats.record(payload.len());
+                    self.senders[to]
+                        .send(Msg { from: self.rank, tag, seq, checksum, payload: payload.clone() })
+                        .map_err(|_| CommError::Disconnected)?;
+                }
+            } else {
+                self.stats.record_dropped();
+            }
+            if self.wait_ack(to, tag, seq)? {
+                return Ok(());
+            }
+        }
+        Err(if self.faults.crashed(to) {
+            CommError::NodeDown { rank: to }
+        } else {
+            CommError::Timeout { rank: to, tag }
+        })
+    }
+
+    /// Wait up to the plan's timeout for the ack of `(to, tag, seq)`.
+    /// `Ok(false)` means the wait timed out (caller retries).
+    fn wait_ack(&self, to: usize, tag: u32, seq: u64) -> Result<bool, CommError> {
+        let matches = |a: &Ack| a.from == to && a.tag == tag && a.seq == seq;
+        {
+            let mut stale = self.stale_acks.borrow_mut();
+            if let Some(pos) = stale.iter().position(matches) {
+                stale.remove(pos);
+                return Ok(true);
+            }
+        }
+        let deadline = Instant::now() + self.faults.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            match self.ack_rx.recv_timeout(deadline - now) {
+                Ok(a) if matches(&a) => return Ok(true),
+                Ok(a) => self.stale_acks.borrow_mut().push(a),
+                Err(RecvTimeoutError::Timeout) => return Ok(false),
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+            }
+        }
     }
 
     /// Blocking receive of the next message from `from` with `tag`;
     /// out-of-order messages are buffered.
     pub fn recv<T: Wire>(&mut self, from: usize, tag: u32) -> Result<T, CommError> {
-        if let Some(pos) =
-            self.pending.iter().position(|m| m.from == from && m.tag == tag)
-        {
+        self.recv_inner(from, tag, None)
+    }
+
+    /// Like [`recv`](Self::recv), but gives up with [`CommError::Timeout`]
+    /// if nothing matching arrives within `timeout`.
+    pub fn recv_timeout<T: Wire>(
+        &mut self,
+        from: usize,
+        tag: u32,
+        timeout: Duration,
+    ) -> Result<T, CommError> {
+        self.recv_inner(from, tag, Some(Instant::now() + timeout))
+    }
+
+    fn recv_inner<T: Wire>(
+        &mut self,
+        from: usize,
+        tag: u32,
+        deadline: Option<Instant>,
+    ) -> Result<T, CommError> {
+        if let Some(pos) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
             let msg = self.pending.remove(pos);
-            return Ok(unpack_all(msg.payload).expect("sender packed a valid T"));
+            return decode(msg);
         }
         loop {
-            let msg = self.rx.recv().map_err(|_| CommError::Disconnected)?;
+            let msg = match deadline {
+                None => self.rx.recv().map_err(|_| CommError::Disconnected)?,
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return Err(CommError::Timeout { rank: from, tag });
+                    }
+                    self.rx.recv_timeout(dl - now).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => CommError::Timeout { rank: from, tag },
+                        RecvTimeoutError::Disconnected => CommError::Disconnected,
+                    })?
+                }
+            };
+            if !self.admit(&msg) {
+                continue;
+            }
             if msg.from == from && msg.tag == tag {
-                return Ok(unpack_all(msg.payload).expect("sender packed a valid T"));
+                return decode(msg);
             }
             self.pending.push(msg);
         }
+    }
+
+    /// Integrity + dedup filter for one arrival. Under an active fault plan
+    /// every valid arrival is acknowledged as soon as it is seen — even
+    /// when buffered for a later `recv` — so the sender stops
+    /// retransmitting. Returns false when the message must not be
+    /// delivered (damaged, or a replay of an already-delivered message).
+    fn admit(&mut self, msg: &Msg) -> bool {
+        if !self.faults.is_active() {
+            return true;
+        }
+        if payload_checksum(&msg.payload) != msg.checksum {
+            // Damaged in flight: behave like a loss; an intact
+            // retransmission will follow.
+            return false;
+        }
+        let replay = !self.seen.insert((msg.from, msg.seq));
+        // Ack replays too: the sender may have missed the first ack.
+        let _ =
+            self.ack_senders[msg.from].send(Ack { from: self.rank, tag: msg.tag, seq: msg.seq });
+        !replay
     }
 
     /// MPI-style broadcast: the root's value reaches every rank.
@@ -203,7 +428,7 @@ impl CommHandle {
                     // Own contribution still pays serialization (MPI copies
                     // through the buffer even for self-sends in naive use).
                     let bytes = packed(&value);
-                    out.push(unpack_all(bytes).expect("self roundtrip"));
+                    out.push(unpack_all(bytes)?);
                 } else {
                     out.push(self.recv(r, tag)?);
                 }
@@ -218,16 +443,38 @@ impl CommHandle {
     /// All-reduce: combine every rank's value with `op`; all ranks receive
     /// the result. Implemented gather-to-0 + fold + broadcast, like the
     /// paper's two-level histogram reduction rooted at the main process.
+    /// The gather is in rank order and the fold is left-to-right, so
+    /// non-commutative `op`s see contributions in rank order.
     pub fn all_reduce<T: Wire + Clone>(
         &mut self,
         value: T,
         tag: u32,
         op: impl Fn(T, T) -> T,
     ) -> Result<T, CommError> {
+        assert_eq!(tag & REPLY_TAG_BIT, 0, "user tags must leave the reply bit clear");
         let gathered = self.gather(0, value, tag)?;
         let reduced = gathered.map(|vs| vs.into_iter().reduce(&op).expect("n >= 1 values"));
-        self.broadcast(0, reduced, tag + 1)
+        // Reply travels in the reserved tag namespace: a user message
+        // tagged `tag + 1` can no longer collide with it.
+        self.broadcast(0, reduced, tag | REPLY_TAG_BIT)
     }
+}
+
+fn decode<T: Wire>(msg: Msg) -> Result<T, CommError> {
+    unpack_all(msg.payload).map_err(CommError::Decode)
+}
+
+/// A damaged copy of `payload` for in-flight corruption: flip one byte (or
+/// append one to an empty payload) so the checksum cannot match.
+fn corrupt_copy(payload: &Bytes) -> Bytes {
+    let mut v = payload.to_vec();
+    if v.is_empty() {
+        v.push(0xA5);
+    } else {
+        let mid = v.len() / 2;
+        v[mid] ^= 0xA5;
+    }
+    Bytes::from(v)
 }
 
 #[cfg(test)]
@@ -239,7 +486,16 @@ mod tests {
         limit: Option<usize>,
         f: impl Fn(CommHandle) -> R + Send + Sync,
     ) -> Vec<R> {
-        let handles = Comm::create_with(n, limit, Arc::new(TrafficStats::new()));
+        run_ranks_with(n, limit, FaultPlan::none(), f)
+    }
+
+    fn run_ranks_with<R: Send>(
+        n: usize,
+        limit: Option<usize>,
+        faults: FaultPlan,
+        f: impl Fn(CommHandle) -> R + Send + Sync,
+    ) -> Vec<R> {
+        let handles = Comm::create_with(n, limit, Arc::new(TrafficStats::new()), faults);
         let f = &f;
         std::thread::scope(|s| {
             let joins: Vec<_> = handles.into_iter().map(|h| s.spawn(move || f(h))).collect();
@@ -290,8 +546,7 @@ mod tests {
     #[test]
     fn scatter_distributes_in_rank_order() {
         let out = run_ranks(3, None, |mut h| {
-            let parts =
-                if h.rank() == 0 { Some(vec![10u64, 20, 30]) } else { None };
+            let parts = if h.rank() == 0 { Some(vec![10u64, 20, 30]) } else { None };
             h.scatter(0, parts, 3).unwrap()
         });
         assert_eq!(out, vec![10, 20, 30]);
@@ -299,9 +554,7 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let out = run_ranks(3, None, |mut h| {
-            h.gather(0, h.rank() as u64 * 11, 9).unwrap()
-        });
+        let out = run_ranks(3, None, |mut h| h.gather(0, h.rank() as u64 * 11, 9).unwrap());
         assert_eq!(out[0], Some(vec![0, 11, 22]));
         assert_eq!(out[1], None);
     }
@@ -315,6 +568,79 @@ mod tests {
     }
 
     #[test]
+    fn all_reduce_non_commutative_folds_in_rank_order() {
+        // String concatenation is non-commutative: the result is only
+        // well-defined because the gather is rank-ordered and the fold is
+        // left-to-right.
+        let out = run_ranks(4, None, |mut h| {
+            h.all_reduce(h.rank().to_string(), 3, |a, b| a + &b).unwrap()
+        });
+        assert_eq!(out, vec!["0123".to_string(); 4]);
+    }
+
+    #[test]
+    fn all_reduce_single_rank_communicator() {
+        let out = run_ranks(1, None, |mut h| h.all_reduce(41u64, 11, |a, b| a + b).unwrap());
+        assert_eq!(out, vec![41]);
+    }
+
+    #[test]
+    fn all_reduce_does_not_collide_with_adjacent_user_tag() {
+        // Regression: the reply to `all_reduce(tag)` used to travel on
+        // `tag + 1`. A user message already in flight on `tag + 1` from the
+        // root could then be consumed as the reduction result. The reply
+        // now travels in the reserved namespace, so both values survive.
+        const TAG: u32 = 20;
+        let out = run_ranks(2, None, |mut h| {
+            if h.rank() == 0 {
+                // In flight on tag + 1 BEFORE the collective's reply.
+                h.send(1, TAG + 1, &777u64).unwrap();
+                h.all_reduce(1u64, TAG, |a, b| a + b).unwrap()
+            } else {
+                let reduced = h.all_reduce(2u64, TAG, |a, b| a + b).unwrap();
+                let user: u64 = h.recv(0, TAG + 1).unwrap();
+                assert_eq!(user, 777, "user message on tag+1 must survive the collective");
+                reduced
+            }
+        });
+        assert_eq!(out, vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reply bit")]
+    fn all_reduce_rejects_reserved_tags() {
+        let mut h = Comm::create(1).pop().expect("one rank");
+        let _ = h.all_reduce(1u64, REPLY_TAG_BIT | 3, |a, b| a + b);
+    }
+
+    #[test]
+    fn type_confusion_surfaces_as_decode_error() {
+        // A peer that packs one type while the receiver expects another is
+        // a decode error, not a panic.
+        let out = run_ranks(2, None, |mut h| {
+            if h.rank() == 0 {
+                h.send(1, 1, &vec![0xFFu8; 3]).unwrap();
+                true
+            } else {
+                matches!(h.recv::<Vec<u64>>(0, 1), Err(CommError::Decode(_)))
+            }
+        });
+        assert!(out[1], "mistyped payload must surface as CommError::Decode");
+    }
+
+    #[test]
+    fn recv_timeout_expires_without_traffic() {
+        let out = run_ranks(2, None, |mut h| {
+            if h.rank() == 0 {
+                h.recv_timeout::<u64>(1, 9, Duration::from_millis(10))
+            } else {
+                Ok(0)
+            }
+        });
+        assert_eq!(out[0], Err(CommError::Timeout { rank: 1, tag: 9 }));
+    }
+
+    #[test]
     fn message_limit_rejects_large_sends() {
         let out = run_ranks(2, Some(64), |h| {
             if h.rank() == 0 {
@@ -325,5 +651,91 @@ mod tests {
             }
         });
         assert!(out[0]);
+    }
+
+    #[test]
+    fn lossy_link_still_delivers_exactly_once() {
+        // Generous retry budget: a send that exhausts it panics the sender
+        // and strands the receiver, so make exhaustion impossible.
+        let plan = FaultPlan::seeded(11)
+            .with_drop(0.4)
+            .with_duplication(0.3)
+            .with_max_retries(64)
+            .with_timeout(Duration::from_millis(5));
+        let out = run_ranks_with(2, None, plan, |mut h| {
+            if h.rank() == 0 {
+                for i in 0..50u64 {
+                    h.send(1, 4, &i).unwrap();
+                }
+                0
+            } else {
+                (0..50u64).map(|_| h.recv::<u64>(0, 4).unwrap()).sum()
+            }
+        });
+        assert_eq!(out[1], (0..50).sum::<u64>(), "drops + dups must not change delivery");
+    }
+
+    #[test]
+    fn corruption_is_retransmitted_not_delivered() {
+        let plan = FaultPlan::seeded(5)
+            .with_corruption(0.5)
+            .with_max_retries(64)
+            .with_timeout(Duration::from_millis(5));
+        let stats = Arc::new(TrafficStats::new());
+        let handles = Comm::create_with(2, None, Arc::clone(&stats), plan);
+        let f = |mut h: CommHandle| {
+            if h.rank() == 0 {
+                for i in 0..40u64 {
+                    h.send(1, 2, &vec![i; 8]).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..40u64).map(|_| h.recv::<Vec<u64>>(0, 2).unwrap()).collect::<Vec<_>>()
+            }
+        };
+        let out = std::thread::scope(|s| {
+            let joins: Vec<_> = handles.into_iter().map(|h| s.spawn(move || f(h))).collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect::<Vec<_>>()
+        });
+        let expect: Vec<Vec<u64>> = (0..40u64).map(|i| vec![i; 8]).collect();
+        assert_eq!(out[1], expect, "delivered payloads must be the intact copies");
+        assert!(stats.corrupted() > 0, "the schedule must actually corrupt something");
+        assert!(stats.retries() > 0, "corruption must force retransmissions");
+    }
+
+    #[test]
+    fn crashed_rank_reported_as_node_down() {
+        let plan = FaultPlan::seeded(3)
+            .with_crash(1)
+            .with_max_retries(2)
+            .with_timeout(Duration::from_millis(2));
+        let mut handles =
+            Comm::create_with(2, None, Arc::new(TrafficStats::new()), plan).into_iter();
+        let h0 = handles.next().expect("rank 0");
+        // Rank 1 is "crashed": its handle stays alive (so the channel does
+        // not disconnect) but it never services its queue.
+        let _h1 = handles.next().expect("rank 1");
+        std::thread::scope(|s| {
+            let j = s.spawn(move || h0.send(1, 1, &9u64));
+            assert_eq!(j.join().unwrap(), Err(CommError::NodeDown { rank: 1 }));
+        });
+    }
+
+    #[test]
+    fn silent_but_alive_peer_reports_timeout() {
+        // Rank 1 is not crashed, but the schedule drops everything sent to
+        // it — the sender must give up with Timeout, not NodeDown.
+        let plan = FaultPlan::seeded(3)
+            .with_drop(1.0)
+            .with_max_retries(1)
+            .with_timeout(Duration::from_millis(2));
+        let mut handles =
+            Comm::create_with(2, None, Arc::new(TrafficStats::new()), plan).into_iter();
+        let h0 = handles.next().expect("rank 0");
+        let _h1 = handles.next().expect("rank 1");
+        std::thread::scope(|s| {
+            let j = s.spawn(move || h0.send(1, 6, &9u64));
+            assert_eq!(j.join().unwrap(), Err(CommError::Timeout { rank: 1, tag: 6 }));
+        });
     }
 }

@@ -41,10 +41,20 @@ impl Default for CostModel {
 }
 
 /// Cumulative message/byte counters for a cluster (thread-safe).
+///
+/// Under fault injection the fault-event counters record what the schedule
+/// actually did: attempts lost/duplicated/corrupted in flight,
+/// retransmissions the reliable send layer issued, and task redispatches
+/// the cluster performed after declaring a rank dead.
 #[derive(Debug, Default)]
 pub struct TrafficStats {
     msgs: AtomicU64,
     bytes: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+    retries: AtomicU64,
+    redispatches: AtomicU64,
 }
 
 impl TrafficStats {
@@ -59,6 +69,31 @@ impl TrafficStats {
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Record one transmission attempt lost in flight.
+    pub fn record_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one transmission attempt that arrived twice.
+    pub fn record_duplicated(&self) {
+        self.duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one transmission attempt damaged in flight.
+    pub fn record_corrupted(&self) {
+        self.corrupted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one retransmission of an unacknowledged message.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one task moved to a surviving rank.
+    pub fn record_redispatch(&self) {
+        self.redispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Messages recorded so far.
     pub fn messages(&self) -> u64 {
         self.msgs.load(Ordering::Relaxed)
@@ -69,10 +104,40 @@ impl TrafficStats {
         self.bytes.load(Ordering::Relaxed)
     }
 
+    /// Transmission attempts lost in flight.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Transmission attempts delivered twice.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Transmission attempts damaged in flight.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Retransmissions issued by the reliable send layer.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Tasks moved to a surviving rank after a failure.
+    pub fn redispatches(&self) -> u64 {
+        self.redispatches.load(Ordering::Relaxed)
+    }
+
     /// Zero the counters (between experiments).
     pub fn reset(&self) {
         self.msgs.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        self.duplicated.store(0, Ordering::Relaxed);
+        self.corrupted.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.redispatches.store(0, Ordering::Relaxed);
     }
 }
 
@@ -92,6 +157,10 @@ pub struct DistTiming {
     pub bytes_back: u64,
     /// Total messages in both directions.
     pub messages: u64,
+    /// Retransmissions forced by the fault schedule (0 without faults).
+    pub retries: u64,
+    /// Tasks re-sent to a surviving rank after a failure (0 without faults).
+    pub redispatches: u64,
 }
 
 impl DistTiming {
@@ -123,11 +192,27 @@ mod tests {
         let s = TrafficStats::new();
         s.record(100);
         s.record(50);
+        s.record_dropped();
+        s.record_duplicated();
+        s.record_corrupted();
+        s.record_retry();
+        s.record_retry();
+        s.record_redispatch();
         assert_eq!(s.messages(), 2);
         assert_eq!(s.bytes(), 150);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.duplicated(), 1);
+        assert_eq!(s.corrupted(), 1);
+        assert_eq!(s.retries(), 2);
+        assert_eq!(s.redispatches(), 1);
         s.reset();
         assert_eq!(s.messages(), 0);
         assert_eq!(s.bytes(), 0);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.duplicated(), 0);
+        assert_eq!(s.corrupted(), 0);
+        assert_eq!(s.retries(), 0);
+        assert_eq!(s.redispatches(), 0);
     }
 
     #[test]
@@ -139,6 +224,8 @@ mod tests {
             bytes_out: 0,
             bytes_back: 0,
             messages: 0,
+            retries: 0,
+            redispatches: 0,
         };
         assert_eq!(t.compute_span_s(), 0.9);
     }

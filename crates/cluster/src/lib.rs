@@ -23,14 +23,20 @@
 //! The [`comm`] module additionally provides a real rank-to-rank typed
 //! message layer (send/recv/broadcast/scatter/gather/all-reduce) used in
 //! `Measured` mode and by tests — the analogue of the MPI primitives the
-//! paper's runtime wraps.
+//! paper's runtime wraps. The [`fault`] module adds a deterministic,
+//! seeded fault schedule ([`FaultPlan`]) that the comm layer and the
+//! cluster dispatcher consult to inject message loss, duplication,
+//! corruption, and node crashes — and to recover from them, so skeleton
+//! results stay bit-identical with faults on.
 
 pub mod cluster;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod node;
 
 pub use cluster::{Cluster, ClusterConfig, DistOutcome, RawTask};
-pub use comm::{Comm, CommError, CommHandle};
+pub use comm::{Comm, CommError, CommHandle, REPLY_TAG_BIT};
 pub use cost::{CostModel, DistTiming, TrafficStats};
+pub use fault::{FaultDecision, FaultPlan};
 pub use node::{ExecMode, NodeCtx};

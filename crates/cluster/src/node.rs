@@ -4,7 +4,7 @@ use std::cell::Cell;
 use std::time::Instant;
 
 use triolet_pool::parallel::map_parts_ordered;
-use triolet_pool::vtime::{greedy_schedule, tasks_by_worker};
+use triolet_pool::vtime::greedy_schedule;
 use triolet_pool::ThreadPool;
 
 /// How node tasks execute and how their time is accounted.
@@ -120,9 +120,11 @@ impl<'a> NodeCtx<'a> {
     /// per-thread private accumulation (each thread builds its own sum or
     /// histogram) followed by a per-node merge.
     ///
-    /// In `Virtual` mode the merge is replayed faithfully: chunks assigned to
-    /// the same virtual thread merge *within* that thread (charged to its
-    /// load), then one partial per thread merges sequentially on the node.
+    /// The merge always folds partials in chunk order, in both modes. The
+    /// virtual schedule (like a real work-stealing pool) is timing-dependent,
+    /// so it only decides what the merges *cost*, never the merge tree —
+    /// otherwise floating-point results would vary run to run, and fault
+    /// recovery could not promise bit-identical output.
     pub fn map_reduce_chunks<P, T>(
         &self,
         chunks: Vec<P>,
@@ -155,35 +157,27 @@ impl<'a> NodeCtx<'a> {
                     durations.push(t0.elapsed().as_secs_f64());
                     results.push(Some(r));
                 }
-                // Phase 2: assign chunks to virtual threads; merge within
-                // each thread, charging the merge to that thread's load.
+                // Phase 2: merge partials in chunk order, charging each
+                // merge to the virtual thread the schedule assigned that
+                // chunk to. The merge order must not follow the schedule:
+                // the greedy assignment depends on *measured* durations, so
+                // a schedule-shaped merge tree would reassociate
+                // floating-point merges from run to run.
                 let sched = greedy_schedule(&durations, self.threads);
-                let groups = tasks_by_worker(&sched);
                 let mut worker_loads = sched.worker_loads.clone();
-                let mut thread_partials: Vec<T> = Vec::new();
-                for (w, group) in groups.iter().enumerate() {
-                    let mut acc: Option<T> = None;
-                    for &task in group {
-                        let value = results[task].take().expect("each task merged once");
-                        let t0 = Instant::now();
-                        acc = Some(match acc {
-                            None => value,
-                            Some(a) => merge(a, value),
-                        });
-                        worker_loads[w] += t0.elapsed().as_secs_f64();
-                    }
-                    if let Some(a) = acc {
-                        thread_partials.push(a);
-                    }
+                let mut acc: Option<T> = None;
+                for (task, slot) in results.iter_mut().enumerate() {
+                    let value = slot.take().expect("each chunk merged once");
+                    let t0 = Instant::now();
+                    acc = Some(match acc {
+                        None => value,
+                        Some(a) => merge(a, value),
+                    });
+                    worker_loads[sched.assignment[task]] += t0.elapsed().as_secs_f64();
                 }
                 let thread_span = worker_loads.iter().cloned().fold(0.0, f64::max);
-                // Phase 3: one partial per virtual thread merges sequentially
-                // on the node (the per-node combining step).
-                let t0 = Instant::now();
-                let out = thread_partials.into_iter().reduce(&mut merge);
-                let merge_s = t0.elapsed().as_secs_f64();
-                self.charge(thread_span + merge_s);
-                out
+                self.charge(thread_span);
+                acc
             }
         }
     }
@@ -233,6 +227,29 @@ mod tests {
     }
 
     #[test]
+    fn virtual_merge_tree_ignores_the_schedule() {
+        // The greedy schedule is built from measured durations, which
+        // jitter run to run. If the merge tree followed it, this f64 fold
+        // would reassociate and the bits would disagree across repeats.
+        let xs: Vec<f64> = (0..4096).map(|i| (i as f64) * 0.1 + 0.3).collect();
+        let run = || {
+            let ctx = vctx(3);
+            let chunks = Seq::new(xs.len()).split_parts(24);
+            ctx.map_reduce_chunks(
+                chunks,
+                |p: &SeqPart| p.range().map(|i| xs[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        let bits: Vec<u64> = (0..8).map(|_| run().to_bits()).collect();
+        assert!(
+            bits.iter().all(|&b| b == bits[0]),
+            "virtual-mode merge must be bit-deterministic, got {bits:?}"
+        );
+    }
+
+    #[test]
     fn more_virtual_threads_less_charged_time() {
         // Charge a deliberate per-chunk cost and check modeled scaling.
         let busy = |_p: &SeqPart| {
@@ -262,9 +279,8 @@ mod tests {
         let pool = ThreadPool::new(2);
         let ctx = NodeCtx::new(0, 2, ExecMode::Measured, Some(&pool));
         let chunks = Seq::new(100).split_parts(8);
-        let total = ctx
-            .map_reduce_chunks(chunks, |p: &SeqPart| p.count() as u64, |a, b| a + b)
-            .unwrap();
+        let total =
+            ctx.map_reduce_chunks(chunks, |p: &SeqPart| p.count() as u64, |a, b| a + b).unwrap();
         assert_eq!(total, 100);
         assert!(ctx.elapsed() > 0.0);
     }

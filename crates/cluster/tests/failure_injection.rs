@@ -5,7 +5,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use triolet_cluster::{Cluster, ClusterConfig, Comm, CommError, TrafficStats};
+use triolet_cluster::{Cluster, ClusterConfig, Comm, CommError, FaultPlan, TrafficStats};
 use triolet_serial::{packed, unpack_all, WireError};
 
 #[test]
@@ -77,7 +77,7 @@ fn node_task_panic_propagates_in_measured_mode() {
 
 #[test]
 fn disconnected_peer_surfaces_as_error() {
-    let mut handles = Comm::create_with(2, None, Arc::new(TrafficStats::new()));
+    let mut handles = Comm::create_with(2, None, Arc::new(TrafficStats::new()), FaultPlan::none());
     let h1 = handles.pop().expect("rank 1");
     let mut h0 = handles.pop().expect("rank 0");
     // Drop rank 1 entirely: its receiver disappears.
@@ -96,7 +96,7 @@ fn disconnected_peer_surfaces_as_error() {
 
 #[test]
 fn oversized_message_rejected_before_transport() {
-    let handles = Comm::create_with(2, Some(16), Arc::new(TrafficStats::new()));
+    let handles = Comm::create_with(2, Some(16), Arc::new(TrafficStats::new()), FaultPlan::none());
     let h0 = &handles[0];
     let big = vec![0u8; 1024];
     match h0.send(1, 0, &big) {

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use triolet_cluster::{Cluster, ClusterConfig, Comm, CostModel, TrafficStats};
+use triolet_cluster::{Cluster, ClusterConfig, Comm, CostModel, FaultPlan, TrafficStats};
 use triolet_serial::Wire;
 
 proptest! {
@@ -71,7 +71,7 @@ proptest! {
 fn comm_all_to_all_delivery() {
     // Every rank sends to every other rank with a distinct tag; all arrive.
     let n = 4;
-    let handles = Comm::create_with(n, None, Arc::new(TrafficStats::new()));
+    let handles = Comm::create_with(n, None, Arc::new(TrafficStats::new()), FaultPlan::none());
     let results: Vec<u64> = std::thread::scope(|s| {
         let joins: Vec<_> = handles
             .into_iter()
@@ -114,9 +114,7 @@ fn comm_reduce_then_broadcast_chain() {
                 s.spawn(move || {
                     let mine = vec![h.rank() as u64; 4];
                     let summed = h
-                        .all_reduce(mine, 1, |a, b| {
-                            a.iter().zip(b).map(|(x, y)| x + y).collect()
-                        })
+                        .all_reduce(mine, 1, |a, b| a.iter().zip(b).map(|(x, y)| x + y).collect())
                         .unwrap();
                     // Follow-up broadcast of a scalar derived from it.
                     let total = summed.iter().sum::<u64>();

@@ -104,8 +104,7 @@ impl Triolet {
             }
             ParHint::LocalPar => {
                 let dom = it.outer_domain();
-                let chunks =
-                    dom.whole_part().split(self.threads_per_node() * CHUNKS_PER_THREAD);
+                let chunks = dom.whole_part().split(self.threads_per_node() * CHUNKS_PER_THREAD);
                 let out = self.cluster.run_raw(vec![RawTask {
                     wire_bytes: 0, // local execution: nothing ships
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
@@ -160,8 +159,7 @@ impl Triolet {
                 let root_prep_s = t0.elapsed().as_secs_f64();
                 let out = self.cluster.run_raw(tasks);
                 let t1 = Instant::now();
-                let value =
-                    out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
+                let value = out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
                 let root_merge_s = t1.elapsed().as_secs_f64();
                 (value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
             }
@@ -207,8 +205,7 @@ impl Triolet {
                     .into_iter()
                     .map(|part| {
                         let sub = it.slice_outer(&part);
-                        let wire_bytes =
-                            sub.source_bytes() + part.packed_size() + env_bytes;
+                        let wire_bytes = sub.source_bytes() + part.packed_size() + env_bytes;
                         let env = env.clone();
                         let seed = &seed;
                         let step = &step;
@@ -238,8 +235,7 @@ impl Triolet {
                 let root_prep_s = t0.elapsed().as_secs_f64();
                 let out = self.cluster.run_raw(tasks);
                 let t1 = Instant::now();
-                let value =
-                    out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
+                let value = out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
                 let root_merge_s = t1.elapsed().as_secs_f64();
                 (value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
             }
@@ -348,12 +344,7 @@ impl Triolet {
     }
 
     /// [`Triolet::collect`] with a broadcast environment.
-    pub fn collect_env<It, E, C, Make>(
-        &self,
-        it: It,
-        env: &E,
-        make: Make,
-    ) -> (C::Out, RunStats)
+    pub fn collect_env<It, E, C, Make>(&self, it: It, env: &E, make: Make) -> (C::Out, RunStats)
     where
         It: DistIter,
         E: Wire + Clone + Send + Sync,
@@ -405,11 +396,7 @@ impl Triolet {
         It: DistIter<OuterDom = Seq>,
         It::Item: Wire + Send,
     {
-        fn node_fragment<It>(
-            ctx: &NodeCtx<'_>,
-            sub: &It,
-            part: &SeqPart,
-        ) -> Vec<It::Item>
+        fn node_fragment<It>(ctx: &NodeCtx<'_>, sub: &It, part: &SeqPart) -> Vec<It::Item>
         where
             It: DistIter<OuterDom = Seq>,
             It::Item: Send,
@@ -530,9 +517,7 @@ impl Triolet {
                 let f = &f;
                 let out = self.cluster.run_raw(vec![RawTask {
                     wire_bytes: 0,
-                    work: Box::new(move |ctx: &NodeCtx<'_>| {
-                        node_fragment(ctx, &it, env, &part, f)
-                    }),
+                    work: Box::new(move |ctx: &NodeCtx<'_>| node_fragment(ctx, &it, env, &part, f)),
                 }]);
                 let mut results = out.results;
                 let value = results.pop().expect("one local task");
@@ -547,8 +532,7 @@ impl Triolet {
                     .into_iter()
                     .map(|part| {
                         let sub = it.slice_outer(&part);
-                        let wire_bytes =
-                            sub.source_bytes() + part.packed_size() + env_bytes;
+                        let wire_bytes = sub.source_bytes() + part.packed_size() + env_bytes;
                         let env = env.clone();
                         RawTask {
                             wire_bytes,
@@ -616,11 +600,8 @@ impl Triolet {
                         RawTask {
                             wire_bytes,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
-                                let sub = if local {
-                                    sub
-                                } else {
-                                    ctx.sequential(|| sub.roundtrip())
-                                };
+                                let sub =
+                                    if local { sub } else { ctx.sequential(|| sub.roundtrip()) };
                                 let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
                                 let pieces = ctx.map_chunks(chunks, |chunk| {
                                     let mut v = Vec::with_capacity(chunk.count());
@@ -648,10 +629,7 @@ impl Triolet {
                     data.extend(frag);
                 }
                 let root_s = root_prep_s + t1.elapsed().as_secs_f64();
-                (
-                    triolet_iter::Array3::from_vec(data, dom),
-                    RunStats::from_dist(out.timing, root_s),
-                )
+                (triolet_iter::Array3::from_vec(data, dom), RunStats::from_dist(out.timing, root_s))
             }
         }
     }
@@ -711,10 +689,7 @@ impl Triolet {
                 }]);
                 let mut results = out.results;
                 let data = results.pop().expect("one local task");
-                (
-                    Array2::from_vec(data, dom.rows, dom.cols),
-                    RunStats::from_dist(out.timing, 0.0),
-                )
+                (Array2::from_vec(data, dom.rows, dom.cols), RunStats::from_dist(out.timing, 0.0))
             }
             ParHint::Par => {
                 let parts = dom.split_parts(self.nodes());
@@ -766,11 +741,9 @@ mod tests {
         let xs: Vec<i64> = (0..10_000).collect();
         let expect: i64 = xs.iter().sum();
         let rt = rt(4, 4);
-        for hinted in [
-            from_vec(xs.clone()),
-            from_vec(xs.clone()).localpar(),
-            from_vec(xs.clone()).par(),
-        ] {
+        for hinted in
+            [from_vec(xs.clone()), from_vec(xs.clone()).localpar(), from_vec(xs.clone()).par()]
+        {
             let (s, _) = rt.sum(hinted);
             assert_eq!(s, expect);
         }
@@ -784,7 +757,12 @@ mod tests {
         let (_, stats) = rt.sum(from_vec(xs).par());
         // Each node receives ~1/4 of the data; the total outgoing bytes are
         // about one full copy (plus part headers), NOT nodes x full copy.
-        assert!(stats.bytes_out < full_bytes + 1024, "bytes_out={} full={}", stats.bytes_out, full_bytes);
+        assert!(
+            stats.bytes_out < full_bytes + 1024,
+            "bytes_out={} full={}",
+            stats.bytes_out,
+            full_bytes
+        );
         assert!(stats.bytes_out as f64 > 0.9 * full_bytes as f64);
         assert_eq!(stats.messages, 8);
     }
@@ -831,8 +809,7 @@ mod tests {
 
     #[test]
     fn scatter_add_matches_sequential() {
-        let pairs: Vec<(usize, f64)> =
-            (0..2000).map(|i| (i % 16, (i as f64) * 0.25)).collect();
+        let pairs: Vec<(usize, f64)> = (0..2000).map(|i| (i % 16, (i as f64) * 0.25)).collect();
         let (grid, _) = rt(2, 4).scatter_add(16, from_vec(pairs.clone()).par());
         let mut expect = vec![0.0f64; 16];
         for (b, w) in pairs {
@@ -851,10 +828,7 @@ mod tests {
 
     #[test]
     fn build_vec_irregular_preserves_order() {
-        let it = range(50)
-            .map(|i: usize| i as i64)
-            .filter(|x: &i64| x % 2 == 0)
-            .par();
+        let it = range(50).map(|i: usize| i as i64).filter(|x: &i64| x % 2 == 0).par();
         let (v, _) = rt(4, 2).build_vec(it);
         assert_eq!(v, (0..50).filter(|x| x % 2 == 0).map(|x| x as i64).collect::<Vec<_>>());
     }

@@ -51,7 +51,7 @@ pub use report::RunStats;
 
 // Re-export the substrate crates under the facade.
 pub use triolet_cluster::{
-    Cluster, ClusterConfig, CostModel, DistTiming, ExecMode, NodeCtx, TrafficStats,
+    Cluster, ClusterConfig, CostModel, DistTiming, ExecMode, FaultPlan, NodeCtx, TrafficStats,
 };
 pub use triolet_domain::{Dim2, Dim2Part, Dim3, Dim3Part, Domain, Part, Seq, SeqPart};
 pub use triolet_iter::{
@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::dist::DistIter;
     pub use crate::engine::Triolet;
     pub use crate::report::RunStats;
-    pub use triolet_cluster::{ClusterConfig, CostModel, ExecMode};
+    pub use triolet_cluster::{ClusterConfig, CostModel, ExecMode, FaultPlan};
     pub use triolet_domain::{Dim2, Dim3, Domain, Part, Seq};
     pub use triolet_iter::prelude::*;
 }

@@ -23,6 +23,10 @@ pub struct RunStats {
     pub bytes_back: u64,
     /// Messages in both directions.
     pub messages: u64,
+    /// Retransmissions forced by injected faults (0 without a fault plan).
+    pub retries: u64,
+    /// Tasks moved to a surviving node after a failure (0 without faults).
+    pub redispatches: u64,
 }
 
 impl RunStats {
@@ -36,6 +40,8 @@ impl RunStats {
             bytes_out: 0,
             bytes_back: 0,
             messages: 0,
+            retries: 0,
+            redispatches: 0,
         }
     }
 
@@ -49,6 +55,8 @@ impl RunStats {
             bytes_out: d.bytes_out,
             bytes_back: d.bytes_back,
             messages: d.messages,
+            retries: d.retries,
+            redispatches: d.redispatches,
         }
     }
 
@@ -61,6 +69,8 @@ impl RunStats {
         self.bytes_out += other.bytes_out;
         self.bytes_back += other.bytes_back;
         self.messages += other.messages;
+        self.retries += other.retries;
+        self.redispatches += other.redispatches;
         if self.node_compute_s.len() < other.node_compute_s.len() {
             self.node_compute_s.resize(other.node_compute_s.len(), 0.0);
         }
@@ -106,10 +116,14 @@ mod tests {
             bytes_out: 10,
             bytes_back: 20,
             messages: 4,
+            retries: 3,
+            redispatches: 1,
         };
         let s = RunStats::from_dist(d, 0.25);
         assert!((s.total_s - 2.25).abs() < 1e-12);
         assert_eq!(s.root_s, 0.25);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.redispatches, 1);
         assert!((s.compute_span_s() - 1.4).abs() < 1e-12);
         assert!((s.comm_fraction() - 0.5 / 2.25).abs() < 1e-12);
     }

@@ -27,10 +27,8 @@ fn all_consumers_agree_with_sequential() {
     let (v, _) = rt.build_vec(from_vec(xs.clone()).map(|x: i64| x * 2).par());
     assert_eq!(v, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
 
-    let (hist, _) = rt.histogram(
-        64,
-        from_vec(xs.clone()).map(|x: i64| x.rem_euclid(64) as usize).par(),
-    );
+    let (hist, _) =
+        rt.histogram(64, from_vec(xs.clone()).map(|x: i64| x.rem_euclid(64) as usize).par());
     let mut expect = vec![0u64; 64];
     for x in &xs {
         expect[x.rem_euclid(64) as usize] += 1;
@@ -41,9 +39,8 @@ fn all_consumers_agree_with_sequential() {
 #[test]
 fn build_array2_measured() {
     let rt = measured(2, 2);
-    let (m, _) = rt.build_array2(
-        range2d(13, 9).map(|(r, c): (usize, usize)| (r * 100 + c) as u32).par(),
-    );
+    let (m, _) =
+        rt.build_array2(range2d(13, 9).map(|(r, c): (usize, usize)| (r * 100 + c) as u32).par());
     let expect = Array2::from_fn(13, 9, |r, c| (r * 100 + c) as u32);
     assert_eq!(m, expect);
 }
@@ -52,11 +49,8 @@ fn build_array2_measured() {
 fn env_skeletons_measured() {
     let rt = measured(2, 2);
     let weights: Vec<f64> = (0..32).map(|i| i as f64 * 0.25).collect();
-    let (v, _) = rt.build_vec_env(
-        range(200),
-        &weights,
-        |w: &Vec<f64>, i: usize| w[i % w.len()] * i as f64,
-    );
+    let (v, _) =
+        rt.build_vec_env(range(200), &weights, |w: &Vec<f64>, i: usize| w[i % w.len()] * i as f64);
     let expect: Vec<f64> = (0..200).map(|i| weights[i % 32] * i as f64).collect();
     assert_eq!(v, expect);
 

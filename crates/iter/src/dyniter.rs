@@ -149,10 +149,7 @@ impl<T: 'static> DynIter<T> {
 
     /// `concatMap` — Figure 2: flat indexers nest; flat steppers become
     /// stepper nests; nested shapes recurse.
-    pub fn concat_map<U: 'static>(
-        self,
-        f: std::rc::Rc<dyn Fn(T) -> DynIter<U>>,
-    ) -> DynIter<U> {
+    pub fn concat_map<U: 'static>(self, f: std::rc::Rc<dyn Fn(T) -> DynIter<U>>) -> DynIter<U> {
         match self {
             DynIter::IdxFlat(idx) => {
                 let g = f.clone();
@@ -164,9 +161,7 @@ impl<T: 'static> DynIter<T> {
             }
             DynIter::IdxNest(idx) => {
                 let g = f.clone();
-                DynIter::IdxNest(DynIdx::new(idx.len, move |i| {
-                    (idx.get)(i).concat_map(g.clone())
-                }))
+                DynIter::IdxNest(DynIdx::new(idx.len, move |i| (idx.get)(i).concat_map(g.clone())))
             }
             DynIter::StepNest(s) => {
                 let g = f.clone();
@@ -286,15 +281,13 @@ mod tests {
         assert_eq!(f.constructor(), "IdxNest");
         assert!(f.outer_parallelizable());
         // concat_map on a flat stepper yields StepNest (sequential).
-        let s = DynIter::from_step(0..5i64)
-            .concat_map(Rc::new(|x| DynIter::from_step(0..x)));
+        let s = DynIter::from_step(0..5i64).concat_map(Rc::new(|x| DynIter::from_step(0..x)));
         assert_eq!(s.constructor(), "StepNest");
         assert!(!s.outer_parallelizable());
         // filter of filter stays IdxNest: irregularity never escapes the
         // inner level.
-        let ff = nums(10)
-            .filter(Rc::new(|x: &i64| x % 2 == 0))
-            .filter(Rc::new(|x: &i64| x % 3 == 0));
+        let ff =
+            nums(10).filter(Rc::new(|x: &i64| x % 2 == 0)).filter(Rc::new(|x: &i64| x % 3 == 0));
         assert_eq!(ff.constructor(), "IdxNest");
     }
 
@@ -305,11 +298,8 @@ mod tests {
             .filter(Rc::new(|x: &i64| x % 2 == 0))
             .concat_map(Rc::new(|x| DynIter::from_step(0..x % 5)))
             .collect_vec();
-        let expect: Vec<i64> = (0..50)
-            .map(|x| x * 3)
-            .filter(|x| x % 2 == 0)
-            .flat_map(|x| 0..x % 5)
-            .collect();
+        let expect: Vec<i64> =
+            (0..50).map(|x| x * 3).filter(|x| x % 2 == 0).flat_map(|x| 0..x % 5).collect();
         assert_eq!(got, expect);
     }
 
@@ -323,9 +313,7 @@ mod tests {
 
     #[test]
     fn fold_and_step_agree() {
-        let a = nums(30)
-            .filter(Rc::new(|x: &i64| x % 4 != 0))
-            .fold(0i64, &mut |acc, x| acc + x);
+        let a = nums(30).filter(Rc::new(|x: &i64| x % 4 != 0)).fold(0i64, &mut |acc, x| acc + x);
         let b: i64 = nums(30).filter(Rc::new(|x: &i64| x % 4 != 0)).into_step().sum();
         assert_eq!(a, b);
     }

@@ -92,7 +92,7 @@ impl<T: 'static> FoldEnc<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::collector::{CountHist, Collector};
+    use crate::collector::{Collector, CountHist};
     use crate::indexer::ArrayIdx;
     use triolet_domain::{Domain, Seq, SeqPart};
 
@@ -108,7 +108,13 @@ mod tests {
     fn fold_respects_part() {
         let idx = ArrayIdx::new((0..10u64).collect());
         let f = FoldEnc::from_indexer(idx, SeqPart::new(2, 3));
-        assert_eq!(f.fold(Vec::new(), |mut v, x| { v.push(x); v }), vec![2, 3, 4]);
+        assert_eq!(
+            f.fold(Vec::new(), |mut v, x| {
+                v.push(x);
+                v
+            }),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]
@@ -126,7 +132,13 @@ mod tests {
             }
         });
         let flat = FoldEnc::nested(outer);
-        assert_eq!(flat.fold(Vec::new(), |mut v, x| { v.push(x); v }), vec![0, 0, 1, 0, 1, 2]);
+        assert_eq!(
+            flat.fold(Vec::new(), |mut v, x| {
+                v.push(x);
+                v
+            }),
+            vec![0, 0, 1, 0, 1, 2]
+        );
     }
 
     #[test]

@@ -217,7 +217,9 @@ impl<T: Wire + Clone + Send + Sync + 'static> Indexer for RowsIdx<T> {
     }
 
     fn get(&self, row: usize) -> RowRef<T> {
-        debug_assert!(row >= self.base_row && (row - self.base_row + 1) * self.cols <= self.data.len());
+        debug_assert!(
+            row >= self.base_row && (row - self.base_row + 1) * self.cols <= self.data.len()
+        );
         RowRef {
             data: Arc::clone(&self.data),
             offset: (row - self.base_row) * self.cols,

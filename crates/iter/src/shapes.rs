@@ -24,8 +24,8 @@ use triolet_domain::{Domain, Part};
 use crate::collector::Collector;
 use crate::indexer::{Indexer, MapIdx};
 use crate::stepper::{
-    ConcatMapInner, ElemFn, ElemPred, FilterInner, FilterStep, FilterToStep, IdxStepper,
-    IterFn, IterFnAdapter, MapInner, MapStep,
+    ConcatMapInner, ElemFn, ElemPred, FilterInner, FilterStep, FilterToStep, IdxStepper, IterFn,
+    IterFnAdapter, MapInner, MapStep,
 };
 
 /// Degree of parallelism requested for an iterator (paper §3.4): the flag
@@ -89,9 +89,7 @@ pub trait TrioIter: Sized {
     fn filter<P: ElemPred<Self::Item>>(self, p: P) -> Self::Filtered<P>;
 
     /// Output shape of [`TrioIter::concat_map`].
-    type ConcatMapped<F: IterFn<Self::Item>>: TrioIter<
-        Item = <F::OutIter as TrioIter>::Item,
-    >;
+    type ConcatMapped<F: IterFn<Self::Item>>: TrioIter<Item = <F::OutIter as TrioIter>::Item>;
 
     /// Replace each element by a whole inner iterator and flatten one level:
     /// the nested-traversal skeleton.
@@ -550,9 +548,8 @@ mod tests {
     #[test]
     fn concat_map_nested_traversal() {
         // Each x expands to [x, x, x] (a computed inner loop).
-        let it = arr(vec![1, 2, 3]).concat_map(|x: i64| {
-            StepFlat::new(std::iter::repeat_n(x, x as usize))
-        });
+        let it = arr(vec![1, 2, 3])
+            .concat_map(|x: i64| StepFlat::new(std::iter::repeat_n(x, x as usize)));
         assert_eq!(it.collect_vec(), vec![1, 2, 2, 3, 3, 3]);
     }
 
@@ -568,10 +565,8 @@ mod tests {
 
     #[test]
     fn map_after_filter_recurses_into_nest() {
-        let v = arr(vec![1, -1, 2, -2, 3])
-            .filter(|x: &i64| *x > 0)
-            .map(|x: i64| x * 100)
-            .collect_vec();
+        let v =
+            arr(vec![1, -1, 2, -2, 3]).filter(|x: &i64| *x > 0).map(|x: i64| x * 100).collect_vec();
         assert_eq!(v, vec![100, 200, 300]);
     }
 
@@ -586,10 +581,8 @@ mod tests {
 
     #[test]
     fn into_step_flattens_nests() {
-        let steps: Vec<i64> = arr(vec![3, 1, 2])
-            .concat_map(|x: i64| StepFlat::new(0..x))
-            .into_step()
-            .collect();
+        let steps: Vec<i64> =
+            arr(vec![3, 1, 2]).concat_map(|x: i64| StepFlat::new(0..x)).into_step().collect();
         assert_eq!(steps, vec![0, 1, 2, 0, 0, 1]);
     }
 
@@ -624,16 +617,14 @@ mod tests {
 
     #[test]
     fn stepnest_via_concat_map_on_stepflat() {
-        let it = StepFlat::new(1i64..4)
-            .concat_map(|x: i64| StepFlat::new(std::iter::repeat_n(x, 2)));
+        let it =
+            StepFlat::new(1i64..4).concat_map(|x: i64| StepFlat::new(std::iter::repeat_n(x, 2)));
         assert_eq!(it.collect_vec(), vec![1, 1, 2, 2, 3, 3]);
     }
 
     #[test]
     fn flatten_equals_concat_map_identity() {
-        let it = arr(vec![1, 2, 3])
-            .map(|x: i64| StepFlat::new(0..x))
-            .flatten();
+        let it = arr(vec![1, 2, 3]).map(|x: i64| StepFlat::new(0..x)).flatten();
         assert_eq!(it.collect_vec(), vec![0, 0, 1, 0, 1, 2]);
     }
 
@@ -642,8 +633,7 @@ mod tests {
         // concat_map of concat_map: IdxNest of nested inner shapes.
         let v = arr(vec![2, 3])
             .concat_map(|x: i64| {
-                StepFlat::new(0..x)
-                    .concat_map(|y: i64| StepFlat::new(std::iter::once(y * 2)))
+                StepFlat::new(0..x).concat_map(|y: i64| StepFlat::new(std::iter::once(y * 2)))
             })
             .collect_vec();
         assert_eq!(v, vec![0, 2, 0, 2, 4]);

@@ -7,9 +7,7 @@ use triolet_domain::{Dim2, Domain, Seq};
 use triolet_serial::Wire;
 
 use crate::array::Array2;
-use crate::indexer::{
-    ArrayIdx, Indexer, OuterProductIdx, RangeIdx, RowsIdx, Zip3Idx, ZipIdx,
-};
+use crate::indexer::{ArrayIdx, Indexer, OuterProductIdx, RangeIdx, RowsIdx, Zip3Idx, ZipIdx};
 use crate::shapes::{IdxFlat, StepFlat, TrioIter};
 
 /// Iterate an owned vector (becomes a shared, sliceable data source).
@@ -90,8 +88,7 @@ where
     C::Out: Send + 'static,
 {
     let hint = a.hint();
-    IdxFlat::new(Zip3Idx::new(a.into_indexer(), b.into_indexer(), c.into_indexer()))
-        .with_hint(hint)
+    IdxFlat::new(Zip3Idx::new(a.into_indexer(), b.into_indexer(), c.into_indexer())).with_hint(hint)
 }
 
 /// Pair each element with its index: `zip(indices(domain(xs)), xs)` — the
@@ -123,7 +120,10 @@ where
 /// Zip two arbitrary-shape iterators sequentially via steppers: the fallback
 /// equation of the paper's Figure 2 `zip` for non-indexer shapes. Loses
 /// parallelism (steppers are sequential) but keeps fusion.
-pub fn zip_seq<A, B>(a: A, b: B) -> StepFlat<std::iter::Zip<impl Iterator<Item = A::Item>, impl Iterator<Item = B::Item>>>
+pub fn zip_seq<A, B>(
+    a: A,
+    b: B,
+) -> StepFlat<std::iter::Zip<impl Iterator<Item = A::Item>, impl Iterator<Item = B::Item>>>
 where
     A: TrioIter,
     B: TrioIter,

@@ -313,7 +313,10 @@ mod tests {
 
     #[test]
     fn filter_step_skips() {
-        let f = FilterStep { inner: (0..10).collect::<Vec<i32>>().into_iter(), p: |x: &i32| x % 3 == 0 };
+        let f = FilterStep {
+            inner: (0..10).collect::<Vec<i32>>().into_iter(),
+            p: |x: &i32| x % 3 == 0,
+        };
         assert_eq!(f.collect::<Vec<_>>(), vec![0, 3, 6, 9]);
     }
 }

@@ -205,8 +205,7 @@ mod tests {
             &|a, b| a + b,
         )
         .unwrap();
-        let expect: u64 =
-            (0..37).flat_map(|r| (0..23).map(move |c| (r * 1000 + c) as u64)).sum();
+        let expect: u64 = (0..37).flat_map(|r| (0..23).map(move |c| (r * 1000 + c) as u64)).sum();
         assert_eq!(total, expect);
     }
 

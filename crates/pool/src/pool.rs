@@ -352,9 +352,8 @@ mod tests {
                 s.spawn(|_| {
                     // A task that itself opens a scope on the same pool: the
                     // waiting worker must help, not block.
-                    let pool2 = WORKER.with(|w| {
-                        w.borrow().as_ref().map(|ctx| Arc::clone(&ctx.shared)).is_some()
-                    });
+                    let pool2 = WORKER
+                        .with(|w| w.borrow().as_ref().map(|ctx| Arc::clone(&ctx.shared)).is_some());
                     assert!(pool2);
                     counter.fetch_add(1, Ordering::Relaxed);
                 });

@@ -25,17 +25,15 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::UnexpectedEof { needed, remaining } => write!(
-                f,
-                "unexpected end of payload: needed {needed} bytes, {remaining} remaining"
-            ),
+            WireError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of payload: needed {needed} bytes, {remaining} remaining")
+            }
             WireError::BadTag { ty, tag } => {
                 write!(f, "invalid discriminant {tag} while decoding {ty}")
             }
-            WireError::BadLength { len, remaining } => write!(
-                f,
-                "length prefix {len} exceeds {remaining} remaining payload bytes"
-            ),
+            WireError::BadLength { len, remaining } => {
+                write!(f, "length prefix {len} exceeds {remaining} remaining payload bytes")
+            }
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after decoding finished")
             }

@@ -33,9 +33,7 @@ pub(crate) fn pod_bytes<T: Pod>(slice: &[T]) -> &[u8] {
     // SAFETY: T: Pod guarantees no padding and no invalid representations, so
     // reinterpreting the allocation as bytes is sound. Lifetime and length are
     // carried over from the input slice.
-    unsafe {
-        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
-    }
+    unsafe { std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice)) }
 }
 
 /// Copy raw bytes into a freshly allocated `Vec<T>` (the block-copy read side).

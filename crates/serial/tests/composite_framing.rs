@@ -25,11 +25,7 @@ fn engine_payload_shapes() {
 #[test]
 fn deep_nesting_roundtrips() {
     let deep: Vec<Vec<Vec<(u32, f64)>>> = (0..4)
-        .map(|i| {
-            (0..i)
-                .map(|j| (0..j).map(|k| (k as u32, k as f64 * 0.5)).collect())
-                .collect()
-        })
+        .map(|i| (0..i).map(|j| (0..j).map(|k| (k as u32, k as f64 * 0.5)).collect()).collect())
         .collect();
     roundtrip(deep);
 }

@@ -26,9 +26,7 @@ fn main() {
     // to ship anywhere.
     let b_shared = b.to_shared();
     let (bt, _) = rt.build_array2(
-        range2d(n, n)
-            .map(move |(j, i): (usize, usize)| b_shared[i * n + j])
-            .localpar(),
+        range2d(n, n).map(move |(j, i): (usize, usize)| b_shared[i * n + j]).localpar(),
     );
 
     // The two-liner: each output block's node receives only the A rows and

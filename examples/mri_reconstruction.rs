@@ -15,8 +15,7 @@ fn main() {
     let mut coords = |n: usize, scale: f32| -> Vec<f32> {
         (0..n).map(|_| rng.gen_range(-1.0f32..1.0) * scale).collect()
     };
-    let (x, y, z) =
-        (coords(num_pixels, 1.0), coords(num_pixels, 1.0), coords(num_pixels, 1.0));
+    let (x, y, z) = (coords(num_pixels, 1.0), coords(num_pixels, 1.0), coords(num_pixels, 1.0));
     let (kx, ky, kz) =
         (coords(num_samples, 4.0), coords(num_samples, 4.0), coords(num_samples, 4.0));
     let phi_mag: Vec<f32> = (0..num_samples).map(|i| 1.0 + (i % 7) as f32 * 0.1).collect();

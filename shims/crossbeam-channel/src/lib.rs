@@ -1,0 +1,226 @@
+//! Offline shim for `crossbeam-channel`.
+//!
+//! An unbounded MPMC channel built on a mutex-protected queue with a
+//! condition variable. Disconnection semantics follow the real crate, which
+//! the cluster's failure tests depend on:
+//!
+//! * `send` fails with [`SendError`] once every receiver is dropped (a dead
+//!   peer must surface as `CommError::Disconnected`, not a hang);
+//! * `recv` fails with [`RecvError`] once every sender is dropped and the
+//!   queue has drained;
+//! * [`Receiver::recv_timeout`] distinguishes [`RecvTimeoutError::Timeout`]
+//!   from [`RecvTimeoutError::Disconnected`] — the primitive the comm
+//!   layer's ack/retry protocol is built on.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the undelivered value.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when all senders are gone and the
+/// queue is empty.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// All senders disconnected and the queue is empty.
+    Disconnected,
+}
+
+/// Sending half; clonable across threads.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, failing if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.inner.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(value));
+        }
+        self.inner.lock().push_back(value);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::AcqRel);
+        Sender { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake blocked receivers so they can error out.
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next message, blocking until one arrives or all senders
+    /// disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.inner.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self.inner.ready.wait(queue).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeue the next message, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.inner.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, _res) = self
+                .inner
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = q;
+        }
+    }
+
+    /// Dequeue without blocking; `None` when the queue is empty.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receiver_drops() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(3));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

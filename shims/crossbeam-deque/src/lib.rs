@@ -1,0 +1,179 @@
+//! Offline shim for `crossbeam-deque`.
+//!
+//! Provides the `Worker`/`Stealer`/`Injector` vocabulary the work-stealing
+//! pool uses, implemented over mutex-protected queues instead of lock-free
+//! deques. Correctness contract (each pushed job pops exactly once, stealers
+//! may take from any worker) is identical; only the contention behavior
+//! differs, which the pool's tests do not depend on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// A race was lost; try again. (The shim never returns this, but the
+    /// variant keeps match arms and retry loops source-compatible.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True when the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+type Queue<T> = Arc<Mutex<VecDeque<T>>>;
+
+fn lock<T>(q: &Queue<T>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A worker's own queue. FIFO discipline, matching `Worker::new_fifo`.
+pub struct Worker<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Worker<T> {
+    /// New FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Push a task onto this worker's queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pop the next task in FIFO order.
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_front()
+    }
+
+    /// A handle other threads can steal through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+/// Steal-side handle to a [`Worker`]'s queue.
+pub struct Stealer<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Stealer<T> {
+    /// Try to steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// Shared FIFO injection queue for tasks pushed from outside the pool.
+pub struct Injector<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Self {
+        Injector { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Push a task.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Try to take one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_from_worker() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        assert!(s.steal().is_empty());
+        w.push(9);
+        assert_eq!(s.steal(), Steal::Success(9));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_shared_across_threads() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..64 {
+            inj.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = Arc::clone(&inj);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Steal::Success(v) = inj.steal() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<i32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,52 @@
+//! Offline shim for `crossbeam-utils`.
+//!
+//! The workspace declares the dependency but currently only needs
+//! [`CachePadded`]; the alignment wrapper is provided so future lock-free
+//! counters can avoid false sharing without changing manifests.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (at least) one cache line.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_transparent() {
+        let p = CachePadded::new(7u8);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of_val(&p), 64);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

@@ -125,12 +125,10 @@ fn eden_straggler_penalty_visible_at_scale() {
     // total/span ratio than the 2-node run (the paper's delayed tasks).
     let work = |v: Vec<u64>| v.into_iter().map(busy_value).fold(0u64, u64::wrapping_add);
     let inputs = |n: usize| (0..n).map(|i| vec![i as u64; 256]).collect::<Vec<_>>();
-    let (_, s2) = EdenRt::new(2, 1)
-        .map_reduce(inputs(2), work, |a, b| a.wrapping_add(b), || 0)
-        .unwrap();
-    let (_, s8) = EdenRt::new(8, 1)
-        .map_reduce(inputs(8), work, |a, b| a.wrapping_add(b), || 0)
-        .unwrap();
+    let (_, s2) =
+        EdenRt::new(2, 1).map_reduce(inputs(2), work, |a, b| a.wrapping_add(b), || 0).unwrap();
+    let (_, s8) =
+        EdenRt::new(8, 1).map_reduce(inputs(8), work, |a, b| a.wrapping_add(b), || 0).unwrap();
     let rel2 = s2.total_s / s2.compute_span_s();
     let rel8 = s8.total_s / s8.compute_span_s();
     assert!(rel8 > rel2 + 0.05, "rel8={rel8} rel2={rel2}");

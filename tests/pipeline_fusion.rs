@@ -17,12 +17,8 @@ fn rt(nodes: usize, tpn: usize) -> Triolet {
 fn map_filter_map_chain_equals_naive() {
     let xs: Vec<i64> = (0..3000).map(|i| (i * 7919) % 1000 - 500).collect();
     // Naive: materialize every stage.
-    let naive: Vec<i64> = xs
-        .iter()
-        .map(|&x| x * 3)
-        .filter(|&v| v % 2 == 0)
-        .map(|v| v + 1)
-        .collect();
+    let naive: Vec<i64> =
+        xs.iter().map(|&x| x * 3).filter(|&v| v % 2 == 0).map(|v| v + 1).collect();
     // Fused pipeline, sequential consumption.
     let fused = from_vec(xs.clone())
         .map(|x: i64| x * 3)
@@ -32,11 +28,7 @@ fn map_filter_map_chain_equals_naive() {
     assert_eq!(fused, naive);
     // Fused pipeline, distributed materialization.
     let (dist, _) = rt(4, 2).build_vec(
-        from_vec(xs)
-            .map(|x: i64| x * 3)
-            .filter(|v: &i64| v % 2 == 0)
-            .map(|v: i64| v + 1)
-            .par(),
+        from_vec(xs).map(|x: i64| x * 3).filter(|v: &i64| v % 2 == 0).map(|v: i64| v + 1).par(),
     );
     assert_eq!(dist, naive);
 }
@@ -44,11 +36,8 @@ fn map_filter_map_chain_equals_naive() {
 #[test]
 fn concat_map_filter_sum_distributes() {
     let xs: Vec<i64> = (1..200).collect();
-    let naive: i64 = xs
-        .iter()
-        .flat_map(|&x| (0..x % 7).map(move |y| x * y))
-        .filter(|v| v % 3 == 0)
-        .sum();
+    let naive: i64 =
+        xs.iter().flat_map(|&x| (0..x % 7).map(move |y| x * y)).filter(|v| v % 3 == 0).sum();
     let it = from_vec(xs)
         .concat_map(|x: i64| StepFlat::new((0..x % 7).map(move |y| x * y)))
         .filter(|v: &i64| v % 3 == 0)
@@ -62,13 +51,10 @@ fn nested_concat_maps_three_deep() {
     let naive: Vec<i64> = (0..20i64)
         .flat_map(|a| (0..a % 4).flat_map(move |b| (0..b + 1).map(move |c| a * 100 + b * 10 + c)))
         .collect();
-    let it = range(20)
-        .map(|a: usize| a as i64)
-        .concat_map(|a: i64| {
-            StepFlat::new(0..a % 4).concat_map(move |b: i64| {
-                StepFlat::new((0..b + 1).map(move |c| a * 100 + b * 10 + c))
-            })
-        });
+    let it = range(20).map(|a: usize| a as i64).concat_map(|a: i64| {
+        StepFlat::new(0..a % 4)
+            .concat_map(move |b: i64| StepFlat::new((0..b + 1).map(move |c| a * 100 + b * 10 + c)))
+    });
     assert_eq!(it.collect_vec(), naive);
 }
 
@@ -77,9 +63,7 @@ fn zip_of_mapped_arrays_fuses_and_distributes() {
     let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
     let ys: Vec<f64> = (0..1000).map(|i| (i * 3 % 11) as f64).collect();
     let naive: f64 = xs.iter().zip(&ys).map(|(x, y)| (x + 1.0) * y).sum();
-    let it = zip(from_vec(xs), from_vec(ys))
-        .map(|(x, y): (f64, f64)| (x + 1.0) * y)
-        .par();
+    let it = zip(from_vec(xs), from_vec(ys)).map(|(x, y): (f64, f64)| (x + 1.0) * y).par();
     let (dist, _) = rt(4, 4).sum(it);
     assert!((dist - naive).abs() < 1e-9 * naive.abs());
 }
