@@ -26,9 +26,10 @@ fn main() {
         }
         Impl::Triolet => {
             let rt = opts.triolet_rt();
-            let (g, stats) = cutcp::run_triolet(&rt, &input);
-            print_stats(&stats);
-            g
+            let run = cutcp::run_triolet(&rt, &input);
+            print_stats(&run.stats);
+            opts.write_trace(&run.trace);
+            run.value
         }
         Impl::Lowlevel => {
             let rt = LowLevelRt::new(ClusterConfig::virtual_cluster(opts.nodes, opts.threads));

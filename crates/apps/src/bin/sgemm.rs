@@ -26,9 +26,10 @@ fn main() {
         }
         Impl::Triolet => {
             let rt = opts.triolet_rt();
-            let (c, stats) = sgemm::run_triolet(&rt, &input);
-            print_stats(&stats);
-            c
+            let run = sgemm::run_triolet(&rt, &input);
+            print_stats(&run.stats);
+            opts.write_trace(&run.trace);
+            run.value
         }
         Impl::Lowlevel => {
             let rt = LowLevelRt::new(ClusterConfig::virtual_cluster(opts.nodes, opts.threads));

@@ -3,6 +3,7 @@
 
 use triolet::prelude::*;
 use triolet::RunStats;
+use triolet::TraceData;
 
 /// Which implementation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,9 @@ pub struct Opts {
     pub threads: usize,
     /// Generator seed (`--seed S`).
     pub seed: u64,
+    /// Write a chrome://tracing JSON timeline here (`--trace-out FILE`);
+    /// also switches span recording on in the runtime.
+    pub trace_out: Option<String>,
     /// App-specific sizes, filled from the remaining `--key value` pairs.
     pub sizes: Vec<(String, usize)>,
 }
@@ -41,6 +45,7 @@ impl Opts {
         let mut nodes = 4usize;
         let mut threads = 4usize;
         let mut seed = 1u64;
+        let mut trace_out = None;
         let mut sizes: Vec<(String, usize)> =
             size_keys.iter().map(|&(k, v)| (k.to_string(), v)).collect();
         let mut args = std::env::args().skip(1);
@@ -50,7 +55,7 @@ impl Opts {
                     size_keys.iter().map(|(k, v)| format!("[--{k} N (default {v})]")).collect();
                 eprintln!(
                     "usage: {app} [--impl seq|triolet|lowlevel|eden] [--nodes N] \
-                     [--threads T] [--seed S] {}",
+                     [--threads T] [--seed S] [--trace-out FILE] {}",
                     keys.join(" ")
                 );
                 std::process::exit(2);
@@ -92,6 +97,7 @@ impl Opts {
                         unreachable!()
                     })
                 }
+                "--trace-out" => trace_out = Some(value(&mut args)),
                 other => {
                     let key = other.strip_prefix("--").unwrap_or_else(|| {
                         usage();
@@ -113,7 +119,7 @@ impl Opts {
                 }
             }
         }
-        Opts { imp, nodes, threads, seed, sizes }
+        Opts { imp, nodes, threads, seed, trace_out, sizes }
     }
 
     /// Look up an app-specific size by key.
@@ -125,9 +131,32 @@ impl Opts {
             .unwrap_or_else(|| panic!("size key {key} not registered"))
     }
 
-    /// Build the Triolet runtime for these options.
+    /// Build the Triolet runtime for these options. Span recording is on
+    /// exactly when `--trace-out` was given.
     pub fn triolet_rt(&self) -> Triolet {
-        Triolet::new(ClusterConfig::virtual_cluster(self.nodes, self.threads))
+        Triolet::new(
+            ClusterConfig::virtual_cluster(self.nodes, self.threads)
+                .with_trace(self.trace_out.is_some()),
+        )
+    }
+
+    /// Write a recorded timeline as chrome://tracing JSON to the
+    /// `--trace-out` path (no-op when the flag is absent), and print a
+    /// per-phase breakdown.
+    pub fn write_trace(&self, trace: &TraceData) {
+        let Some(path) = &self.trace_out else { return };
+        std::fs::write(path, trace.to_chrome_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        });
+        let phases: Vec<String> =
+            trace.phase_totals().iter().map(|(c, t)| format!("{c}={t:.4}s")).collect();
+        println!(
+            "trace: {} spans, {} events -> {path} [{}]",
+            trace.spans.len(),
+            trace.events.len(),
+            phases.join(" ")
+        );
     }
 
     /// Print the run header.

@@ -14,7 +14,6 @@
 //! accounted broadcast environment.
 
 use triolet::prelude::*;
-use triolet::RunStats;
 use triolet_serial::{Wire, WireReader, WireResult, WireWriter};
 
 use super::{potential, Atom, CutcpInput, GridGeom};
@@ -98,7 +97,7 @@ pub fn bin_atoms(input: &CutcpInput) -> AtomBins {
 
 /// Gather-formulation on the Triolet skeletons: parallel over grid points,
 /// binned atoms broadcast as the environment.
-pub fn run_triolet_gather(rt: &Triolet, input: &CutcpInput) -> (Vec<f64>, RunStats) {
+pub fn run_triolet_gather(rt: &Triolet, input: &CutcpInput) -> Run<Vec<f64>> {
     let bins = bin_atoms(input);
     let g = input.geom;
     let c2 = g.cutoff * g.cutoff;
@@ -139,20 +138,22 @@ mod tests {
         let input = generate(150, 10, 9);
         let expect = run_seq(&input);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2));
-        let (got, stats) = run_triolet_gather(&rt, &input);
-        assert!(validate(&expect, &got, 1e-9), "gather and scatter disagree");
+        let run = run_triolet_gather(&rt, &input);
+        assert!(validate(&expect, &run.value, 1e-9), "gather and scatter disagree");
         // The gather trades grid reduction for an atom broadcast: the bytes
         // shipped *back* are just the output fragments (one grid total), not
         // nodes x whole-grid partials.
         let grid_bytes = (input.geom.dom.count() * 8) as u64;
-        assert!(stats.bytes_back < 2 * grid_bytes);
+        assert!(run.stats.bytes_back < 2 * grid_bytes);
     }
 
     #[test]
     fn gather_single_vs_multi_node() {
         let input = generate(100, 8, 4);
-        let a = run_triolet_gather(&Triolet::new(ClusterConfig::virtual_cluster(1, 1)), &input).0;
-        let b = run_triolet_gather(&Triolet::new(ClusterConfig::virtual_cluster(8, 2)), &input).0;
+        let a =
+            run_triolet_gather(&Triolet::new(ClusterConfig::virtual_cluster(1, 1)), &input).value;
+        let b =
+            run_triolet_gather(&Triolet::new(ClusterConfig::virtual_cluster(8, 2)), &input).value;
         assert!(validate(&a, &b, 1e-12));
     }
 

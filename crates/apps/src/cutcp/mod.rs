@@ -185,11 +185,11 @@ mod tests {
         let input = small();
         let expect = run_seq(&input);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2));
-        let (got, stats) = run_triolet(&rt, &input);
-        assert!(validate(&expect, &got, 1e-9), "cutcp grids diverge");
+        let run = run_triolet(&rt, &input);
+        assert!(validate(&expect, &run.value, 1e-9), "cutcp grids diverge");
         // The gathered per-node grids dominate the traffic (the paper's
         // saturation cause).
-        assert!(stats.bytes_back > stats.bytes_out);
+        assert!(run.stats.bytes_back > run.stats.bytes_out);
     }
 
     #[test]
@@ -213,8 +213,8 @@ mod tests {
     #[test]
     fn node_count_does_not_change_grid() {
         let input = small();
-        let a = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(1, 1)), &input).0;
-        let b = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(8, 2)), &input).0;
+        let a = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(1, 1)), &input).value;
+        let b = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(8, 2)), &input).value;
         assert!(validate(&a, &b, 1e-9));
     }
 }

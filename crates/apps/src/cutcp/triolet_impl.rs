@@ -14,7 +14,6 @@
 //! two-level floating-point histogram of §3.4.
 
 use triolet::prelude::*;
-use triolet::RunStats;
 use triolet_iter::StepFlat;
 
 use super::{axis_range, potential, Atom, CutcpInput, GridGeom};
@@ -46,7 +45,7 @@ fn grid_pts(geom: GridGeom, a: Atom) -> StepFlat<std::vec::IntoIter<Candidate>> 
 }
 
 /// Run cutcp through the Triolet skeletons on `rt`.
-pub fn run_triolet(rt: &Triolet, input: &CutcpInput) -> (Vec<f64>, RunStats) {
+pub fn run_triolet(rt: &Triolet, input: &CutcpInput) -> Run<Vec<f64>> {
     let geom = input.geom;
     let c2 = geom.cutoff * geom.cutoff;
     let contributions = from_vec(input.atoms.clone())

@@ -196,9 +196,9 @@ mod tests {
         let input = small();
         let expect = run_seq(&input);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 4));
-        let (got, stats) = run_triolet(&rt, &input);
-        assert!(validate(&expect, &got, 1e-4), "triolet output diverges");
-        assert!(stats.bytes_out > 0, "par run must ship data");
+        let run = run_triolet(&rt, &input);
+        assert!(validate(&expect, &run.value, 1e-4), "triolet output diverges");
+        assert!(run.stats.bytes_out > 0, "par run must ship data");
     }
 
     #[test]
@@ -226,8 +226,8 @@ mod tests {
         let input = small();
         let rt1 = Triolet::new(ClusterConfig::virtual_cluster(1, 1));
         let rt8 = Triolet::new(ClusterConfig::virtual_cluster(8, 2));
-        let (a, _) = run_triolet(&rt1, &input);
-        let (b, _) = run_triolet(&rt8, &input);
+        let a = run_triolet(&rt1, &input).value;
+        let b = run_triolet(&rt8, &input).value;
         assert!(validate(&a, &b, 1e-6), "node count must not change results");
     }
 }

@@ -16,24 +16,26 @@ use triolet::prelude::*;
 use super::{ftcoeff, MriqInput, MriqOutput, Samples};
 
 /// Run mri-q through the Triolet skeletons on `rt`.
-pub fn run_triolet(rt: &Triolet, input: &MriqInput) -> (MriqOutput, RunStats) {
+pub fn run_triolet(rt: &Triolet, input: &MriqInput) -> Run<MriqOutput> {
     let samples = input.samples();
     let pixels =
         zip3(from_vec(input.x.clone()), from_vec(input.y.clone()), from_vec(input.z.clone())).par();
-    let (q, stats) = rt.build_vec_env(pixels, &samples, pixel_value);
-    let (qr, qi) = q.into_iter().unzip();
-    (MriqOutput { qr, qi }, stats)
+    rt.build_vec_env(pixels, &samples, pixel_value).map(|q| {
+        let (qr, qi) = q.into_iter().unzip();
+        MriqOutput { qr, qi }
+    })
 }
 
 /// Same computation restricted to one node's threads (used by ablations).
-pub fn run_triolet_localpar(rt: &Triolet, input: &MriqInput) -> (MriqOutput, RunStats) {
+pub fn run_triolet_localpar(rt: &Triolet, input: &MriqInput) -> Run<MriqOutput> {
     let samples = input.samples();
     let pixels =
         zip3(from_vec(input.x.clone()), from_vec(input.y.clone()), from_vec(input.z.clone()))
             .localpar();
-    let (q, stats) = rt.build_vec_env(pixels, &samples, pixel_value);
-    let (qr, qi) = q.into_iter().unzip();
-    (MriqOutput { qr, qi }, stats)
+    rt.build_vec_env(pixels, &samples, pixel_value).map(|q| {
+        let (qr, qi) = q.into_iter().unzip();
+        MriqOutput { qr, qi }
+    })
 }
 
 /// The fused pixel body: `sum(ftcoeff(k, r) for k in ks)`.

@@ -111,9 +111,9 @@ mod tests {
         let input = small();
         let expect = run_seq(&input);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2));
-        let (got, stats) = run_triolet(&rt, &input);
-        assert!(validate(&expect, &got, 1e-4));
-        assert!(stats.bytes_out > 0);
+        let run = run_triolet(&rt, &input);
+        assert!(validate(&expect, &run.value, 1e-4));
+        assert!(run.stats.bytes_out > 0);
     }
 
     #[test]
@@ -123,7 +123,7 @@ mod tests {
         let input = generate(64, 3);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2));
         let full = 2 * (64 * 64 * 4) as u64;
-        let (_, stats) = run_triolet(&rt, &input);
+        let stats = run_triolet(&rt, &input).stats;
         // 2x2 grid: each matrix shipped twice (each row block to 2 nodes).
         assert!(stats.bytes_out < 3 * full, "bytes_out={} full={}", stats.bytes_out, full);
         assert!(stats.bytes_out as f64 > 1.5 * full as f64);
@@ -165,7 +165,7 @@ mod tests {
         let t = transpose_seq(&input.b);
         assert_eq!(t.transpose(), input.b);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(1, 4));
-        let (t2, _) = transpose_triolet(&rt, &input.b);
+        let t2 = transpose_triolet(&rt, &input.b).value;
         assert_eq!(t, t2);
     }
 }

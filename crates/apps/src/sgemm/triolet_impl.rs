@@ -12,13 +12,13 @@
 //! do very little work per byte of data, such as matrix transposition."
 
 use triolet::prelude::*;
-use triolet::{Array2, RunStats};
+use triolet::Array2;
 use triolet_iter::{RowRef, RowsIdx};
 
 use super::{dot_rows, SgemmInput};
 
 /// Shared-memory parallel transpose: `[B[x,y] for (y,x) in range2d(n, k)]`.
-pub fn transpose_triolet(rt: &Triolet, b: &Array2<f32>) -> (Array2<f32>, RunStats) {
+pub fn transpose_triolet(rt: &Triolet, b: &Array2<f32>) -> Run<Array2<f32>> {
     let data = b.to_shared();
     let (rows, cols) = (b.rows(), b.cols());
     let it = range2d(cols, rows).map(move |(y, x): (usize, usize)| data[x * cols + y]).localpar();
@@ -26,21 +26,23 @@ pub fn transpose_triolet(rt: &Triolet, b: &Array2<f32>) -> (Array2<f32>, RunStat
 }
 
 /// Run sgemm through the Triolet skeletons on `rt`.
-pub fn run_triolet(rt: &Triolet, input: &SgemmInput) -> (Array2<f32>, RunStats) {
+pub fn run_triolet(rt: &Triolet, input: &SgemmInput) -> Run<Array2<f32>> {
     // Transpose on shared memory first (sequential bottleneck elsewhere).
-    let (bt, t_stats) = transpose_triolet(rt, &input.b);
+    let t = transpose_triolet(rt, &input.b);
     let alpha = input.alpha;
 
     // The two-liner.
-    let zipped_ab = outerproduct(rows(&input.a), rows(&bt)).par();
-    let (c, mut stats) =
-        rt.build_array2(zipped_ab.map(move |(u, v): (RowRef<f32>, RowRef<f32>)| {
-            alpha * dot_rows(u.as_slice(), v.as_slice())
-        }));
-    // Total time includes the transpose phase.
-    stats.total_s += t_stats.total_s;
-    stats.root_s += t_stats.root_s;
-    (c, stats)
+    let zipped_ab = outerproduct(rows(&input.a), rows(&t.value)).par();
+    let mut run = rt.build_array2(zipped_ab.map(move |(u, v): (RowRef<f32>, RowRef<f32>)| {
+        alpha * dot_rows(u.as_slice(), v.as_slice())
+    }));
+    // Total time (and the trace timeline) includes the transpose phase.
+    run.stats.total_s += t.stats.total_s;
+    run.stats.root_s += t.stats.root_s;
+    let mut trace = t.trace;
+    trace.then(run.trace);
+    run.trace = trace;
+    run
 }
 
 /// Concrete type of the sgemm outer-product indexer.

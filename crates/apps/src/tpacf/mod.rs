@@ -192,9 +192,9 @@ mod tests {
         let input = small();
         let expect = run_seq(&input);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(3, 2));
-        let (got, stats) = run_triolet(&rt, &input);
-        assert!(validate(&expect, &got));
-        assert!(stats.bytes_out > 0);
+        let run = run_triolet(&rt, &input);
+        assert!(validate(&expect, &run.value));
+        assert!(run.stats.bytes_out > 0);
     }
 
     #[test]
@@ -218,8 +218,8 @@ mod tests {
     #[test]
     fn node_count_does_not_change_histograms() {
         let input = small();
-        let a = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(1, 1)), &input).0;
-        let b = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(8, 4)), &input).0;
+        let a = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(1, 1)), &input).value;
+        let b = run_triolet(&Triolet::new(ClusterConfig::virtual_cluster(8, 4)), &input).value;
         assert!(validate(&a, &b));
     }
 }

@@ -26,7 +26,7 @@
 use std::sync::Arc;
 
 use triolet::prelude::*;
-use triolet::{Collector, CountHist, RunStats};
+use triolet::{Collector, CountHist};
 use triolet_iter::StepFlat;
 
 use super::{hist_len, score, Point, TpacfInput, TpacfOutput};
@@ -64,7 +64,7 @@ fn corr1_cross(bin_edges: &Arc<Vec<f64>>, obs: &[Point], rand: &[Point], bins: u
 }
 
 /// Run tpacf through the Triolet skeletons on `rt`.
-pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> (TpacfOutput, RunStats) {
+pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> Run<TpacfOutput> {
     let bins = hist_len(input);
     let edges = Arc::new(input.bin_edges.clone());
 
@@ -79,14 +79,15 @@ pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> (TpacfOutput, RunStats) 
         })
         .map(move |(u, v): (Point, Point)| score(&dd_edges, u, v))
         .localpar();
-    let (dd, dd_stats) = rt.histogram(bins, dd_pairs);
+    let dd = rt.histogram(bins, dd_pairs);
 
     // --- RR: self-correlation of each random set, par over sets ----------
     let rr_edges = Arc::clone(&edges);
-    let (rr_hist, rr_stats) = rt.fold_reduce(
+    let rr = rt.fold_reduce(
         from_vec(input.rands.clone()).par(),
+        &(),
         move || CountHist::new(bins),
-        move |mut h: CountHist, rand: Vec<Point>| {
+        move |(), mut h: CountHist, rand: Vec<Point>| {
             h.merge(corr1_self(&rr_edges, &rand, bins));
             h
         },
@@ -98,7 +99,7 @@ pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> (TpacfOutput, RunStats) 
 
     // --- DR: each random set against the observed set (broadcast env) ----
     let dr_edges = Arc::clone(&edges);
-    let (dr_hist, dr_stats) = rt.fold_reduce_env(
+    let dr = rt.fold_reduce(
         from_vec(input.rands.clone()).par(),
         &input.obs,
         move || CountHist::new(bins),
@@ -112,6 +113,11 @@ pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> (TpacfOutput, RunStats) 
         },
     );
 
-    let stats = dd_stats.then(rr_stats).then(dr_stats);
-    (TpacfOutput { dd, dr: dr_hist.finish(), rr: rr_hist.finish() }, stats)
+    // Three phases back to back: stats add, traces concatenate in time.
+    let stats = dd.stats.then(rr.stats).then(dr.stats);
+    let mut trace = dd.trace;
+    trace.then(rr.trace);
+    trace.then(dr.trace);
+    Run::new(TpacfOutput { dd: dd.value, dr: dr.value.finish(), rr: rr.value.finish() }, stats)
+        .with_trace(trace)
 }

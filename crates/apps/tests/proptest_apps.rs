@@ -21,7 +21,7 @@ proptest! {
         let input = mriq::generate(pixels, samples, seed);
         let expect = mriq::run_seq(&input);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
-        let (got, _) = mriq::run_triolet(&rt, &input);
+        let got = mriq::run_triolet(&rt, &input).value;
         prop_assert!(mriq::validate(&expect, &got, 1e-3));
         let ll = LowLevelRt::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let (got, _) = mriq::run_lowlevel(&ll, &input);
@@ -39,7 +39,7 @@ proptest! {
         let input = sgemm::generate_rect(m, k, n, seed);
         let expect = sgemm::run_seq(&input);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, 2));
-        let (got, _) = sgemm::run_triolet(&rt, &input);
+        let got = sgemm::run_triolet(&rt, &input).value;
         prop_assert!(sgemm::validate(&expect, &got, 1e-3));
         let ll = LowLevelRt::new(ClusterConfig::virtual_cluster(nodes, 2));
         let (got, _) = sgemm::run_lowlevel(&ll, &input);
@@ -63,7 +63,7 @@ proptest! {
         prop_assert_eq!(expect.dr.iter().sum::<u64>(), (n_rand * n * n) as u64);
         // Cross-model equality (histograms are exact).
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, 2));
-        let (got, _) = tpacf::run_triolet(&rt, &input);
+        let got = tpacf::run_triolet(&rt, &input).value;
         prop_assert!(tpacf::validate(&expect, &got));
         let eden = EdenRt::new(nodes, 2);
         let (got, _) = tpacf::run_eden(&eden, &input).expect("small payloads");
@@ -80,7 +80,7 @@ proptest! {
         let input = cutcp::generate(atoms, dim, seed);
         let expect = cutcp::run_seq(&input);
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, 2));
-        let (got, _) = cutcp::run_triolet(&rt, &input);
+        let got = cutcp::run_triolet(&rt, &input).value;
         prop_assert!(cutcp::validate(&expect, &got, 1e-9));
 
         // Superposition: the field of all atoms equals the sum of the

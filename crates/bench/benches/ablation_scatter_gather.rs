@@ -21,14 +21,14 @@ fn scatter_vs_gather(c: &mut Criterion) {
             let input = input.clone();
             b.iter(|| {
                 let rt = Triolet::new(ClusterConfig::virtual_cluster(n, 4));
-                black_box(cutcp::run_triolet(&rt, &input).1.total_s)
+                black_box(cutcp::run_triolet(&rt, &input).stats.total_s)
             })
         });
         g.bench_with_input(BenchmarkId::new("gather", nodes), &nodes, |b, &n| {
             let input = input.clone();
             b.iter(|| {
                 let rt = Triolet::new(ClusterConfig::virtual_cluster(n, 4));
-                black_box(cutcp::run_triolet_gather(&rt, &input).1.total_s)
+                black_box(cutcp::run_triolet_gather(&rt, &input).stats.total_s)
             })
         });
     }

@@ -25,8 +25,8 @@ fn slicing_vs_full_copy(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("sliced", NODES), &data, |b, data| {
         b.iter(|| {
             let rt = Triolet::new(ClusterConfig::virtual_cluster(NODES, 2));
-            let (s, stats) = rt.sum(from_vec(data.clone()).map(|x: f32| x as f64).par());
-            black_box((s, stats.total_s))
+            let run = rt.sum(from_vec(data.clone()).map(|x: f32| x as f64).par());
+            black_box((run.value, run.stats.total_s))
         })
     });
 

@@ -23,7 +23,7 @@ fn two_level_vs_flat(c: &mut Criterion) {
     g.bench_function("two_level_2x16", |b| {
         b.iter(|| {
             let rt = Triolet::new(ClusterConfig::virtual_cluster(2, 16));
-            black_box(tpacf::run_triolet(&rt, &input).1.total_s)
+            black_box(tpacf::run_triolet(&rt, &input).stats.total_s)
         })
     });
 

@@ -44,7 +44,7 @@ fn fig3(c: &mut Criterion) {
             },
             move || {
                 let rt = Triolet::sequential();
-                black_box(mriq::run_triolet(&rt, &i2).0);
+                black_box(mriq::run_triolet(&rt, &i2).value);
             },
             move || {
                 let rt = EdenRt::new(1, 1);
@@ -66,7 +66,7 @@ fn fig3(c: &mut Criterion) {
             },
             move || {
                 let rt = Triolet::sequential();
-                black_box(sgemm::run_triolet(&rt, &i2).0);
+                black_box(sgemm::run_triolet(&rt, &i2).value);
             },
             move || {
                 let rt = EdenRt::new(1, 1);
@@ -88,7 +88,7 @@ fn fig3(c: &mut Criterion) {
             },
             move || {
                 let rt = Triolet::sequential();
-                black_box(tpacf::run_triolet(&rt, &i2).0);
+                black_box(tpacf::run_triolet(&rt, &i2).value);
             },
             move || {
                 let rt = EdenRt::new(1, 1);
@@ -110,7 +110,7 @@ fn fig3(c: &mut Criterion) {
             },
             move || {
                 let rt = Triolet::sequential();
-                black_box(cutcp::run_triolet(&rt, &i2).0);
+                black_box(cutcp::run_triolet(&rt, &i2).value);
             },
             move || {
                 let rt = EdenRt::new(1, 1);

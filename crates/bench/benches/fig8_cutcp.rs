@@ -24,7 +24,7 @@ fn sweep(c: &mut Criterion) {
             let input = input.clone();
             b.iter(|| {
                 let rt = Triolet::new(ClusterConfig::virtual_cluster(n, t));
-                black_box(app::run_triolet(&rt, &input).1.total_s)
+                black_box(app::run_triolet(&rt, &input).stats.total_s)
             })
         });
         g.bench_with_input(BenchmarkId::new("lowlevel", cores), &(nodes, tpn), |b, &(n, t)| {

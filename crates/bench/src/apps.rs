@@ -95,10 +95,10 @@ pub fn seq_seconds(app: App, set: &BenchSet, reps: usize) -> f64 {
 pub fn triolet_seconds(app: App, set: &BenchSet, nodes: usize, threads: usize) -> f64 {
     let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, threads));
     match app {
-        App::Mriq => mriq::run_triolet(&rt, &set.mriq).1.total_s,
-        App::Sgemm => sgemm::run_triolet(&rt, &set.sgemm).1.total_s,
-        App::Tpacf => tpacf::run_triolet(&rt, &set.tpacf).1.total_s,
-        App::Cutcp => cutcp::run_triolet(&rt, &set.cutcp).1.total_s,
+        App::Mriq => mriq::run_triolet(&rt, &set.mriq).stats.total_s,
+        App::Sgemm => sgemm::run_triolet(&rt, &set.sgemm).stats.total_s,
+        App::Tpacf => tpacf::run_triolet(&rt, &set.tpacf).stats.total_s,
+        App::Cutcp => cutcp::run_triolet(&rt, &set.cutcp).stats.total_s,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Regenerate the Triolet paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [fig1] [fig3] [fig4] [fig5] [fig7] [fig8] [summary] [all]
+//! repro [--quick] [fig1] [fig3] [fig4] [fig5] [fig7] [fig8] [phases] [summary] [all]
 //! ```
 //!
 //! With no figure argument, `all` is assumed. `--quick` shrinks workloads
@@ -10,7 +10,9 @@
 
 use triolet::prelude::*;
 use triolet_bench::apps::{self, App, BenchSet};
-use triolet_bench::{median_seconds, print_series, print_table, Scale, Series, SweepRow};
+use triolet_bench::{
+    median_seconds, print_phase_breakdown, print_series, print_table, Scale, Series, SweepRow,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,9 +59,22 @@ fn main() {
         print_series(&Series { title, seq_s: seq, rows: &rows });
         collected.push((app, seq, rows));
     }
+    if all || figs.contains(&"phases") {
+        phases(&set);
+    }
     if all || figs.contains(&"summary") {
         summary(&collected);
     }
+}
+
+/// Where the modeled time goes: per-phase span totals from the recorded
+/// traces of two representative benchmarks on the reference cluster.
+fn phases(set: &BenchSet) {
+    let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 4).with_trace(true));
+    let mriq = triolet_apps::mriq::run_triolet(&rt, &set.mriq);
+    print_phase_breakdown("Phase breakdown: mri-q (4x4 virtual cluster)", &mriq.trace);
+    let cutcp = triolet_apps::cutcp::run_triolet(&rt, &set.cutcp);
+    print_phase_breakdown("Phase breakdown: cutcp (4x4 virtual cluster)", &cutcp.trace);
 }
 
 /// Figure 1: the capability matrix of fusible encodings, with the "slow"

@@ -21,5 +21,5 @@ pub mod apps;
 pub mod report;
 pub mod sweep;
 
-pub use report::{print_series, print_table, Series};
+pub use report::{print_phase_breakdown, print_series, print_table, Series};
 pub use sweep::{core_points, median_seconds, Scale, SweepRow};

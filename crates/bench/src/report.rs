@@ -1,5 +1,7 @@
 //! Markdown-ish table and series printing for the `repro` binary.
 
+use triolet::TraceData;
+
 use crate::sweep::SweepRow;
 
 /// A labelled scaling series for one figure.
@@ -35,6 +37,26 @@ pub fn print_series(s: &Series<'_>) {
             100.0 * tr / ll
         );
     }
+}
+
+/// Print the per-phase breakdown of a recorded trace: total span-seconds
+/// per category (prep, comm, compute, merge, idle, ...) with the share of
+/// the summed span time. Spans overlap across tracks, so shares describe
+/// where the cluster's aggregate time went, not wall-clock fractions.
+pub fn print_phase_breakdown(title: &str, trace: &TraceData) {
+    let totals = trace.phase_totals();
+    let all: f64 = totals.iter().map(|&(_, t)| t).sum();
+    if all <= 0.0 {
+        println!("\n### {title}\n(no spans recorded — was tracing enabled?)");
+        return;
+    }
+    let rows: Vec<Vec<String>> = totals
+        .iter()
+        .map(|&(cat, t)| {
+            vec![cat.to_string(), format!("{t:.4}"), format!("{:.1}%", 100.0 * t / all)]
+        })
+        .collect();
+    print_table(title, &["phase", "span seconds", "share"], &rows);
 }
 
 /// Print a generic table: header row plus string rows.

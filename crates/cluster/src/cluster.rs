@@ -11,6 +11,7 @@
 
 use std::time::Instant;
 
+use triolet_obs::{TraceData, TraceHandle, Track};
 use triolet_pool::ThreadPool;
 use triolet_serial::{packed, unpack_all, Wire};
 
@@ -43,6 +44,9 @@ pub struct ClusterConfig {
     pub cost: CostModel,
     /// Injected-fault schedule ([`FaultPlan::none`] by default).
     pub faults: FaultPlan,
+    /// Record a span/event timeline for every dispatch (off by default;
+    /// the disabled path is a single branch per record site).
+    pub trace: bool,
 }
 
 impl ClusterConfig {
@@ -54,6 +58,7 @@ impl ClusterConfig {
             mode: ExecMode::Virtual,
             cost: CostModel::default(),
             faults: FaultPlan::none(),
+            trace: false,
         }
     }
 
@@ -65,6 +70,7 @@ impl ClusterConfig {
             mode: ExecMode::Measured,
             cost: CostModel::default(),
             faults: FaultPlan::none(),
+            trace: false,
         }
     }
 
@@ -77,6 +83,12 @@ impl ClusterConfig {
     /// Replace the fault schedule.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enable or disable timeline recording.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -94,6 +106,9 @@ pub struct DistOutcome<R> {
     pub results: Vec<R>,
     /// Timing and traffic breakdown.
     pub timing: DistTiming,
+    /// Recorded timeline (empty unless [`ClusterConfig::trace`] is set).
+    /// Times share one origin: the start of root-side preparation.
+    pub trace: TraceData,
 }
 
 /// One node's share of a distributed operation, in prepared form: the
@@ -107,6 +122,8 @@ pub struct RawTask<'a, R> {
 
 /// How one task's payload traveled from the root: one entry per rank tried.
 struct Hop {
+    /// The rank this hop targeted.
+    dest: usize,
     /// Transmission attempts to this rank (1 + retries).
     attempts: u32,
     /// Attempts that additionally arrived twice.
@@ -150,7 +167,14 @@ fn plan_route(plan: &FaultPlan, n_nodes: usize, i: usize) -> TaskRoute {
     if !plan.is_active() {
         return TaskRoute {
             exec: i,
-            hops: vec![Hop { attempts: 1, dups: 0, drops: 0, corrupts: 0, delivered: true }],
+            hops: vec![Hop {
+                dest: i,
+                attempts: 1,
+                dups: 0,
+                drops: 0,
+                corrupts: 0,
+                delivered: true,
+            }],
             retries: 0,
             redispatches: 0,
         };
@@ -165,7 +189,7 @@ fn plan_route(plan: &FaultPlan, n_nodes: usize, i: usize) -> TaskRoute {
     let mut hops = Vec::new();
     let mut retries = 0u64;
     for (ci, &dest) in candidates.iter().enumerate() {
-        let mut hop = Hop { attempts: 0, dups: 0, drops: 0, corrupts: 0, delivered: false };
+        let mut hop = Hop { dest, attempts: 0, dups: 0, drops: 0, corrupts: 0, delivered: false };
         for attempt in 0..=plan.max_retries {
             hop.attempts += 1;
             retries += u64::from(attempt > 0);
@@ -403,6 +427,10 @@ impl Cluster {
         let cost = self.config.cost;
         let timeout_s = plan.timeout.as_secs_f64();
         let tpn = self.config.threads_per_node;
+        let tr = if self.config.trace { TraceHandle::recording() } else { TraceHandle::disabled() };
+        if root_prep_s > 0.0 {
+            tr.span("root:pack", "prep", Track::Root, 0.0, root_prep_s, vec![]);
+        }
 
         match self.config.mode {
             ExecMode::Virtual => {
@@ -412,13 +440,59 @@ impl Cluster {
                 let mut clock = root_prep_s;
                 let mut comm_s = 0.0f64;
                 let mut send_done = Vec::with_capacity(n_tasks);
-                for (t, route) in tasks.iter().zip(&routes) {
+                for (i, (t, route)) in tasks.iter().zip(&routes).enumerate() {
                     let dt = cost.transfer_time(t.wire_bytes);
-                    for hop in &route.hops {
+                    for (h, hop) in route.hops.iter().enumerate() {
+                        let hop_start = clock;
                         let hop_s = dt * (hop.attempts + hop.dups) as f64
                             + timeout_s * hop.failed_attempts() as f64;
                         clock += hop_s;
                         comm_s += hop_s;
+                        if tr.enabled() {
+                            tr.span(
+                                "send",
+                                "comm",
+                                Track::Root,
+                                hop_start,
+                                clock,
+                                vec![
+                                    ("task", i.into()),
+                                    ("dest", hop.dest.into()),
+                                    ("bytes", t.wire_bytes.into()),
+                                    ("attempts", (hop.attempts as u64).into()),
+                                ],
+                            );
+                            // Fault-event placement within the hop span is a
+                            // model decoration; the *counts* are exact.
+                            let fault = |name: &'static str, count: u32| {
+                                for k in 0..count {
+                                    tr.event(
+                                        name,
+                                        "fault",
+                                        Track::Root,
+                                        hop_start + dt * (k + 1) as f64,
+                                        vec![("task", i.into()), ("dest", hop.dest.into())],
+                                    );
+                                }
+                            };
+                            fault("retry", hop.attempts.saturating_sub(1));
+                            fault("drop", hop.drops);
+                            fault("corrupt", hop.corrupts);
+                            fault("duplicate", hop.dups);
+                            if !hop.delivered && h + 1 < route.hops.len() {
+                                tr.event(
+                                    "redispatch",
+                                    "fault",
+                                    Track::Root,
+                                    clock,
+                                    vec![
+                                        ("task", i.into()),
+                                        ("from", hop.dest.into()),
+                                        ("to", route.hops[h + 1].dest.into()),
+                                    ],
+                                );
+                            }
+                        }
                     }
                     send_done.push(clock);
                 }
@@ -431,11 +505,30 @@ impl Cluster {
                 let mut results_bytes = Vec::with_capacity(n_tasks);
                 for (i, t) in tasks.into_iter().enumerate() {
                     let exec = routes[i].exec;
-                    let ctx = NodeCtx::new(exec, tpn, ExecMode::Virtual, None);
+                    let node_tr = if tr.enabled() {
+                        TraceHandle::recording()
+                    } else {
+                        TraceHandle::disabled()
+                    };
+                    let ctx = NodeCtx::new(exec, tpn, ExecMode::Virtual, None).with_trace(node_tr);
                     let result = (t.work)(&ctx);
-                    let rb = ctx.sequential(|| packed(&result));
+                    let rb = ctx.sequential_labeled("pack", "prep", || packed(&result));
                     let elapsed = ctx.elapsed();
-                    let done = send_done[i].max(node_free[exec]) + elapsed;
+                    let start = send_done[i].max(node_free[exec]);
+                    let done = start + elapsed;
+                    if tr.enabled() {
+                        let mut sub = ctx.take_trace();
+                        sub.shift(start);
+                        tr.absorb(sub);
+                        tr.span(
+                            "node:task",
+                            "dispatch",
+                            Track::Node(exec),
+                            start,
+                            done,
+                            vec![("task", i.into())],
+                        );
+                    }
                     node_free[exec] = done;
                     node_compute[exec] += elapsed;
                     done_at.push(done);
@@ -471,6 +564,31 @@ impl Cluster {
                     let path_s =
                         cost.transfer_time(rb.len()) * copies as f64 + timeout_s * failed as f64;
                     comm_s += path_s;
+                    if tr.enabled() {
+                        tr.span(
+                            "return",
+                            "comm",
+                            Track::Root,
+                            done_at[i],
+                            done_at[i] + path_s,
+                            vec![
+                                ("task", i.into()),
+                                ("from", routes[i].exec.into()),
+                                ("bytes", rb.len().into()),
+                                ("attempts", (ret.attempts as u64).into()),
+                            ],
+                        );
+                        let rdt = cost.transfer_time(rb.len());
+                        for k in 0..failed {
+                            tr.event(
+                                "retry",
+                                "fault",
+                                Track::Root,
+                                done_at[i] + rdt * (k + 1) as f64,
+                                vec![("task", i.into()), ("from", routes[i].exec.into())],
+                            );
+                        }
+                    }
                     finish = finish.max(done_at[i] + path_s);
                 }
 
@@ -480,8 +598,10 @@ impl Cluster {
                     .map(|rb| unpack_all(rb).expect("result roundtrip"))
                     .collect();
                 let root_unpack_s = t1.elapsed().as_secs_f64();
+                tr.span("root:unpack", "prep", Track::Root, finish, finish + root_unpack_s, vec![]);
                 DistOutcome {
                     results,
+                    trace: tr.take(),
                     timing: DistTiming {
                         total_s: finish + root_unpack_s,
                         comm_s,
@@ -496,6 +616,55 @@ impl Cluster {
             }
             ExecMode::Measured => {
                 let t_start = Instant::now();
+                // Wall-clock timeline: origin at root-prep start, so sends
+                // (instantaneous in-process) land at `root_prep_s` and node
+                // task spans at their measured offsets.
+                if tr.enabled() {
+                    for (i, (t, route)) in tasks.iter().zip(&routes).enumerate() {
+                        for (h, hop) in route.hops.iter().enumerate() {
+                            tr.event(
+                                "send",
+                                "comm",
+                                Track::Root,
+                                root_prep_s,
+                                vec![
+                                    ("task", i.into()),
+                                    ("dest", hop.dest.into()),
+                                    ("bytes", t.wire_bytes.into()),
+                                    ("attempts", (hop.attempts as u64).into()),
+                                ],
+                            );
+                            let fault = |name: &'static str, count: u32| {
+                                for _ in 0..count {
+                                    tr.event(
+                                        name,
+                                        "fault",
+                                        Track::Root,
+                                        root_prep_s,
+                                        vec![("task", i.into()), ("dest", hop.dest.into())],
+                                    );
+                                }
+                            };
+                            fault("retry", hop.attempts.saturating_sub(1));
+                            fault("drop", hop.drops);
+                            fault("corrupt", hop.corrupts);
+                            fault("duplicate", hop.dups);
+                            if !hop.delivered && h + 1 < route.hops.len() {
+                                tr.event(
+                                    "redispatch",
+                                    "fault",
+                                    Track::Root,
+                                    root_prep_s,
+                                    vec![
+                                        ("task", i.into()),
+                                        ("from", hop.dest.into()),
+                                        ("to", route.hops[h + 1].dest.into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                }
                 // Group tasks by executing rank; each group runs in task
                 // order on its rank's real thread pool.
                 let mut groups: Vec<Vec<(usize, RawTask<'a, R>)>> =
@@ -514,14 +683,37 @@ impl Cluster {
                             continue;
                         }
                         let pool = &pools[rank];
+                        let tr = tr.clone();
                         handles.push(s.spawn(move || {
                             group
                                 .into_iter()
                                 .map(|(i, t)| {
+                                    let node_tr = if tr.enabled() {
+                                        TraceHandle::recording()
+                                    } else {
+                                        TraceHandle::disabled()
+                                    };
+                                    let start_off = root_prep_s + t_start.elapsed().as_secs_f64();
                                     let ctx =
-                                        NodeCtx::new(rank, tpn, ExecMode::Measured, Some(pool));
+                                        NodeCtx::new(rank, tpn, ExecMode::Measured, Some(pool))
+                                            .with_trace(node_tr);
                                     let result = (t.work)(&ctx);
-                                    let rb = ctx.sequential(|| packed(&result));
+                                    let rb =
+                                        ctx.sequential_labeled("pack", "prep", || packed(&result));
+                                    if tr.enabled() {
+                                        let end_off = root_prep_s + t_start.elapsed().as_secs_f64();
+                                        let mut sub = ctx.take_trace();
+                                        sub.shift(start_off);
+                                        tr.absorb(sub);
+                                        tr.span(
+                                            "node:task",
+                                            "dispatch",
+                                            Track::Node(rank),
+                                            start_off,
+                                            end_off,
+                                            vec![("task", i.into())],
+                                        );
+                                    }
                                     (rank, i, rb, ctx.elapsed())
                                 })
                                 .collect::<Vec<_>>()
@@ -534,6 +726,7 @@ impl Cluster {
                         }
                     }
                 });
+                let gather_off = root_prep_s + t_start.elapsed().as_secs_f64();
                 let mut results = Vec::with_capacity(n_tasks);
                 let mut bytes_back = 0u64;
                 for (i, slot) in slots.into_iter().enumerate() {
@@ -559,10 +752,24 @@ impl Cluster {
                         self.stats.record_retry();
                     }
                     retries += failed;
+                    if tr.enabled() && failed > 0 {
+                        for _ in 0..failed {
+                            tr.event(
+                                "retry",
+                                "fault",
+                                Track::Root,
+                                gather_off,
+                                vec![("task", i.into()), ("from", routes[i].exec.into())],
+                            );
+                        }
+                    }
                     results.push(unpack_all(rb).expect("result roundtrip"));
                 }
+                let end_off = root_prep_s + t_start.elapsed().as_secs_f64();
+                tr.span("root:gather", "comm", Track::Root, gather_off, end_off, vec![]);
                 DistOutcome {
                     results,
+                    trace: tr.take(),
                     timing: DistTiming {
                         total_s: root_prep_s + t_start.elapsed().as_secs_f64(),
                         comm_s: 0.0, // real transfers are in-process; wall time covers them
@@ -723,6 +930,58 @@ mod tests {
         assert_eq!(a.timing.messages, b.timing.messages);
         assert_eq!(a.timing.retries, b.timing.retries);
         assert_eq!(a.timing.redispatches, b.timing.redispatches);
+    }
+
+    #[test]
+    fn untraced_dispatch_returns_empty_trace() {
+        let cluster = Cluster::new(ClusterConfig::virtual_cluster(2, 2));
+        let out = cluster.run(vec![1u64, 2], |_ctx, x: u64| x);
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn traced_virtual_dispatch_records_the_timeline() {
+        let cfg = ClusterConfig::virtual_cluster(3, 2).with_trace(true);
+        let out = Cluster::new(cfg)
+            .run(vec![vec![1u64; 50], vec![2; 50], vec![3; 50]], |ctx, v: Vec<u64>| {
+                ctx.sequential(|| v.iter().sum::<u64>())
+            });
+        let names = out.trace.span_names();
+        for required in ["root:pack", "send", "node:task", "return", "root:unpack"] {
+            assert!(names.contains(&required), "missing span {required:?} in {names:?}");
+        }
+        // One send + one exec envelope + one return per task.
+        assert_eq!(out.trace.spans.iter().filter(|s| s.name == "send").count(), 3);
+        assert_eq!(out.trace.spans.iter().filter(|s| s.name == "node:task").count(), 3);
+        // Every span fits the run: no negative times, none past the total.
+        for s in &out.trace.spans {
+            assert!(s.t0 >= 0.0 && s.t1 <= out.timing.total_s + 1e-9, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn traced_fault_run_shows_retries_and_redispatches() {
+        let plan = FaultPlan::seeded(2024)
+            .with_drop(0.2)
+            .with_crash(1)
+            .with_timeout(Duration::from_millis(1));
+        let cfg = ClusterConfig::virtual_cluster(4, 2).with_faults(plan).with_trace(true);
+        let out = Cluster::new(cfg).run(vec![1u64, 2, 3, 4], |_ctx, x: u64| x * 2);
+        assert_eq!(out.results, vec![2, 4, 6, 8]);
+        assert!(out.trace.count_events("retry") > 0);
+        assert!(out.trace.count_events("redispatch") > 0);
+        assert_eq!(out.trace.count_events("redispatch") as u64, out.timing.redispatches);
+    }
+
+    #[test]
+    fn traced_measured_dispatch_records_node_tasks() {
+        let cfg = ClusterConfig::measured(2, 2).with_trace(true);
+        let out = Cluster::new(cfg).run(vec![10u64, 20], |ctx, x: u64| ctx.sequential(|| x + 1));
+        assert_eq!(out.results, vec![11, 21]);
+        let names = out.trace.span_names();
+        assert!(names.contains(&"node:task"), "missing node:task in {names:?}");
+        assert!(names.contains(&"root:gather"), "missing root:gather in {names:?}");
+        assert_eq!(out.trace.spans.iter().filter(|s| s.name == "node:task").count(), 2);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use triolet_obs::{TraceHandle, Track};
 use triolet_serial::{packed, unpack_all, Wire, WireError};
 
 use crate::cost::TrafficStats;
@@ -123,7 +124,22 @@ impl Comm {
         stats: Arc<TrafficStats>,
         faults: FaultPlan,
     ) -> Vec<CommHandle> {
+        Self::create_traced(n, max_msg_bytes, stats, faults, TraceHandle::disabled())
+    }
+
+    /// Like [`create_with`](Self::create_with), with a shared trace sink:
+    /// every send attempt, delivery, acknowledgement, and injected fault
+    /// becomes a point event on the acting rank's timeline (wall-clock
+    /// offsets from communicator creation).
+    pub fn create_traced(
+        n: usize,
+        max_msg_bytes: Option<usize>,
+        stats: Arc<TrafficStats>,
+        faults: FaultPlan,
+        trace: TraceHandle,
+    ) -> Vec<CommHandle> {
         let n = n.max(1);
+        let epoch = Instant::now();
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         let mut ack_senders = Vec::with_capacity(n);
@@ -154,6 +170,8 @@ impl Comm {
                 max_msg_bytes,
                 stats: Arc::clone(&stats),
                 faults,
+                trace: trace.clone(),
+                epoch,
             })
             .collect()
     }
@@ -178,6 +196,9 @@ pub struct CommHandle {
     max_msg_bytes: Option<usize>,
     stats: Arc<TrafficStats>,
     faults: FaultPlan,
+    trace: TraceHandle,
+    /// Shared creation instant: all ranks' comm events use one wall clock.
+    epoch: Instant,
 }
 
 impl CommHandle {
@@ -194,6 +215,19 @@ impl CommHandle {
     /// The communicator's fault schedule.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Record a comm-layer point event on this rank's timeline.
+    fn trace_event(&self, name: &'static str, cat: &'static str, peer: usize, tag: u32) {
+        if self.trace.enabled() {
+            self.trace.event(
+                name,
+                cat,
+                Track::Node(self.rank),
+                self.epoch.elapsed().as_secs_f64(),
+                vec![("peer", peer.into()), ("tag", (tag as u64).into())],
+            );
+        }
     }
 
     /// Send `value` to `to` under `tag`. With an active fault plan this is
@@ -214,6 +248,7 @@ impl CommHandle {
         };
         if !self.faults.is_active() {
             self.stats.record(payload.len());
+            self.trace_event("send", "comm", to, tag);
             let checksum = payload_checksum(&payload);
             return self.senders[to]
                 .send(Msg { from: self.rank, tag, seq, checksum, payload })
@@ -234,13 +269,16 @@ impl CommHandle {
         for attempt in 0..=self.faults.max_retries {
             if attempt > 0 {
                 self.stats.record_retry();
+                self.trace_event("retry", "fault", to, tag);
             }
             let d = self.faults.decide(self.rank, to, tag, seq, attempt);
             // The sender pays bandwidth for every attempt, delivered or not.
             self.stats.record(payload.len());
+            self.trace_event("send", "comm", to, tag);
             if d.deliver {
                 let wire = if d.corrupt {
                     self.stats.record_corrupted();
+                    self.trace_event("corrupt", "fault", to, tag);
                     corrupt_copy(&payload)
                 } else {
                     payload.clone()
@@ -251,14 +289,17 @@ impl CommHandle {
                 if d.duplicate {
                     self.stats.record_duplicated();
                     self.stats.record(payload.len());
+                    self.trace_event("duplicate", "fault", to, tag);
                     self.senders[to]
                         .send(Msg { from: self.rank, tag, seq, checksum, payload: payload.clone() })
                         .map_err(|_| CommError::Disconnected)?;
                 }
             } else {
                 self.stats.record_dropped();
+                self.trace_event("drop", "fault", to, tag);
             }
             if self.wait_ack(to, tag, seq)? {
+                self.trace_event("ack", "comm", to, tag);
                 return Ok(());
             }
         }
@@ -320,6 +361,7 @@ impl CommHandle {
     ) -> Result<T, CommError> {
         if let Some(pos) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
             let msg = self.pending.remove(pos);
+            self.trace_event("recv", "comm", from, tag);
             return decode(msg);
         }
         loop {
@@ -340,6 +382,7 @@ impl CommHandle {
                 continue;
             }
             if msg.from == from && msg.tag == tag {
+                self.trace_event("recv", "comm", from, tag);
                 return decode(msg);
             }
             self.pending.push(msg);

@@ -40,3 +40,4 @@ pub use comm::{Comm, CommError, CommHandle, REPLY_TAG_BIT};
 pub use cost::{CostModel, DistTiming, TrafficStats};
 pub use fault::{FaultDecision, FaultPlan};
 pub use node::{ExecMode, NodeCtx};
+pub use triolet_obs::{TraceData, TraceHandle, Track};

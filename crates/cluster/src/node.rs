@@ -3,9 +3,10 @@
 use std::cell::Cell;
 use std::time::Instant;
 
+use triolet_obs::{TraceData, TraceHandle, Track};
 use triolet_pool::parallel::map_parts_ordered;
 use triolet_pool::vtime::greedy_schedule;
-use triolet_pool::ThreadPool;
+use triolet_pool::{current_worker_index, ThreadPool};
 
 /// How node tasks execute and how their time is accounted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,6 +33,7 @@ pub struct NodeCtx<'a> {
     mode: ExecMode,
     pool: Option<&'a ThreadPool>,
     vclock: Cell<f64>,
+    trace: TraceHandle,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -41,7 +43,34 @@ impl<'a> NodeCtx<'a> {
             mode == ExecMode::Virtual || pool.is_some(),
             "Measured mode requires a real thread pool"
         );
-        NodeCtx { rank, threads: threads.max(1), mode, pool, vclock: Cell::new(0.0) }
+        NodeCtx {
+            rank,
+            threads: threads.max(1),
+            mode,
+            pool,
+            vclock: Cell::new(0.0),
+            trace: TraceHandle::disabled(),
+        }
+    }
+
+    /// Attach a trace sink; spans are recorded on this node's timeline
+    /// (origin = node-task start; the dispatcher rebases them).
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Drain the node-local timeline recorded so far.
+    pub fn take_trace(&self) -> TraceData {
+        self.trace.take()
+    }
+
+    fn node_track(&self) -> Track {
+        Track::Node(self.rank)
+    }
+
+    fn worker_track(&self, worker: usize) -> Track {
+        Track::Worker { rank: self.rank, worker }
     }
 
     /// This node's rank in the cluster.
@@ -83,6 +112,20 @@ impl<'a> NodeCtx<'a> {
         r
     }
 
+    /// [`sequential`](Self::sequential) with a labeled span on the node's
+    /// timeline (e.g. `"unpack"`/`"pack"` with category `"prep"`).
+    pub fn sequential_labeled<R>(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let t0 = self.elapsed();
+        let r = self.sequential(f);
+        self.trace.span(name, cat, self.node_track(), t0, self.elapsed(), vec![]);
+        r
+    }
+
     /// Map `leaf` over explicit chunks in parallel, preserving order.
     ///
     /// The chunk list is the thread-level work decomposition (the paper's
@@ -96,8 +139,30 @@ impl<'a> NodeCtx<'a> {
         match self.mode {
             ExecMode::Measured => {
                 let pool = self.pool.expect("Measured mode has a pool");
+                let base = self.elapsed();
                 let t0 = Instant::now();
-                let out = map_parts_ordered(pool, chunks, &leaf);
+                let out = if self.trace.enabled() {
+                    let trace = self.trace.clone();
+                    let rank = self.rank;
+                    let traced = |c: &P| {
+                        let s = t0.elapsed().as_secs_f64();
+                        let r = leaf(c);
+                        let e = t0.elapsed().as_secs_f64();
+                        let w = current_worker_index().unwrap_or(0);
+                        trace.span(
+                            "chunk",
+                            "compute",
+                            Track::Worker { rank, worker: w },
+                            base + s,
+                            base + e,
+                            vec![],
+                        );
+                        r
+                    };
+                    map_parts_ordered(pool, chunks, &traced)
+                } else {
+                    map_parts_ordered(pool, chunks, &leaf)
+                };
                 self.charge(t0.elapsed().as_secs_f64());
                 out
             }
@@ -110,9 +175,51 @@ impl<'a> NodeCtx<'a> {
                     durations.push(t0.elapsed().as_secs_f64());
                 }
                 let sched = greedy_schedule(&durations, self.threads);
+                self.trace_schedule(&sched, &durations, &sched.worker_loads, sched.makespan);
                 self.charge(sched.makespan);
                 out
             }
+        }
+    }
+
+    /// Emit per-chunk compute spans and per-worker idle spans for a virtual
+    /// schedule, placed on the node's timeline starting at the current
+    /// virtual clock. Span *names* and ordering are schedule-independent
+    /// (chunk order, then worker order) so golden traces stay deterministic;
+    /// only the timestamps and worker assignments follow the measured
+    /// durations.
+    fn trace_schedule(
+        &self,
+        sched: &triolet_pool::Schedule,
+        durations: &[f64],
+        final_loads: &[f64],
+        span_end: f64,
+    ) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let base = self.elapsed();
+        for (c, &d) in durations.iter().enumerate() {
+            let w = sched.assignment[c];
+            let s = sched.start_times[c];
+            self.trace.span(
+                "chunk",
+                "compute",
+                self.worker_track(w),
+                base + s,
+                base + s + d,
+                vec![("chunk", c.into())],
+            );
+        }
+        for (w, &load) in final_loads.iter().enumerate() {
+            self.trace.span(
+                "idle",
+                "idle",
+                self.worker_track(w),
+                base + load,
+                base + span_end,
+                vec![],
+            );
         }
     }
 
@@ -141,9 +248,34 @@ impl<'a> NodeCtx<'a> {
         match self.mode {
             ExecMode::Measured => {
                 let pool = self.pool.expect("Measured mode has a pool");
+                let base = self.elapsed();
                 let t0 = Instant::now();
-                let partials = map_parts_ordered(pool, chunks, &leaf);
+                let partials = if self.trace.enabled() {
+                    let trace = self.trace.clone();
+                    let rank = self.rank;
+                    let traced = |c: &P| {
+                        let s = t0.elapsed().as_secs_f64();
+                        let r = leaf(c);
+                        let e = t0.elapsed().as_secs_f64();
+                        let w = current_worker_index().unwrap_or(0);
+                        trace.span(
+                            "chunk",
+                            "compute",
+                            Track::Worker { rank, worker: w },
+                            base + s,
+                            base + e,
+                            vec![],
+                        );
+                        r
+                    };
+                    map_parts_ordered(pool, chunks, &traced)
+                } else {
+                    map_parts_ordered(pool, chunks, &leaf)
+                };
+                let m0 = t0.elapsed().as_secs_f64();
                 let out = partials.into_iter().reduce(&mut merge);
+                let m1 = t0.elapsed().as_secs_f64();
+                self.trace.span("merge", "merge", self.node_track(), base + m0, base + m1, vec![]);
                 self.charge(t0.elapsed().as_secs_f64());
                 out
             }
@@ -166,6 +298,7 @@ impl<'a> NodeCtx<'a> {
                 let sched = greedy_schedule(&durations, self.threads);
                 let mut worker_loads = sched.worker_loads.clone();
                 let mut acc: Option<T> = None;
+                let mut merge_bounds = Vec::new();
                 for (task, slot) in results.iter_mut().enumerate() {
                     let value = slot.take().expect("each chunk merged once");
                     let t0 = Instant::now();
@@ -173,9 +306,26 @@ impl<'a> NodeCtx<'a> {
                         None => value,
                         Some(a) => merge(a, value),
                     });
-                    worker_loads[sched.assignment[task]] += t0.elapsed().as_secs_f64();
+                    let w = sched.assignment[task];
+                    let pre = worker_loads[w];
+                    worker_loads[w] += t0.elapsed().as_secs_f64();
+                    merge_bounds.push((w, pre, worker_loads[w]));
                 }
                 let thread_span = worker_loads.iter().cloned().fold(0.0, f64::max);
+                self.trace_schedule(&sched, &durations, &worker_loads, thread_span);
+                if self.trace.enabled() {
+                    let base = self.elapsed();
+                    for (w, pre, post) in merge_bounds {
+                        self.trace.span(
+                            "merge",
+                            "merge",
+                            self.worker_track(w),
+                            base + pre,
+                            base + post,
+                            vec![],
+                        );
+                    }
+                }
                 self.charge(thread_span);
                 acc
             }

@@ -11,10 +11,15 @@
 //!   §3.5), split each node's part across its threads, fold with per-thread
 //!   private accumulators, merge per node, merge node partials at the root
 //!   (§3.4's distributed → threaded → sequential reduction chain).
+//!
+//! Every skeleton returns a [`Run`]: the value, its [`RunStats`], and — when
+//! the cluster is built with
+//! [`ClusterConfig::with_trace`](triolet_cluster::ClusterConfig::with_trace)
+//! — a recorded span/event timeline rooted at a `skeleton:<name>` span.
 
 use std::time::Instant;
 
-use triolet_cluster::{Cluster, ClusterConfig, NodeCtx, RawTask};
+use triolet_cluster::{Cluster, ClusterConfig, NodeCtx, RawTask, TraceData, TraceHandle, Track};
 use triolet_domain::{Dim2, Domain, Part, Seq, SeqPart};
 use triolet_iter::collector::Collector;
 use triolet_iter::shapes::ParHint;
@@ -24,11 +29,12 @@ use triolet_serial::Wire;
 
 use crate::dist::DistIter;
 use crate::report::RunStats;
+use crate::run::Run;
 
 /// The Triolet runtime: a cluster plus the skeleton dispatch logic.
 ///
 /// Construct one per program (like initializing MPI + the thread runtime)
-/// and call skeletons on it. Every skeleton returns `(result, RunStats)`.
+/// and call skeletons on it. Every skeleton returns a [`Run`].
 pub struct Triolet {
     cluster: Cluster,
 }
@@ -65,6 +71,56 @@ impl Triolet {
         self.nodes() * self.threads_per_node()
     }
 
+    /// Is span/event recording on for this runtime's cluster?
+    pub fn traced(&self) -> bool {
+        self.cluster.config().trace
+    }
+
+    // ======================================================================
+    // Trace assembly
+    // ======================================================================
+
+    /// Timeline for a root-only (sequential) execution: one skeleton span.
+    fn local_trace(&self, name: &str, total_s: f64) -> TraceData {
+        if !self.traced() {
+            return TraceData::default();
+        }
+        let h = TraceHandle::recording();
+        h.span(format!("skeleton:{name}"), "skeleton", Track::Root, 0.0, total_s, vec![]);
+        h.take()
+    }
+
+    /// Assemble the skeleton-level timeline around a cluster dispatch:
+    /// root-side slicing (`root:slice`), the dispatch trace rebased past it,
+    /// root-side assembly (`root:merge`), all under one covering
+    /// `skeleton:<name>` span. `prep`/`post` are `None` for hints that do no
+    /// root-side work (so those spans are absent, not zero-width).
+    fn skeleton_trace(
+        &self,
+        name: &str,
+        prep: Option<f64>,
+        mut dist: TraceData,
+        dist_total_s: f64,
+        post: Option<f64>,
+    ) -> TraceData {
+        if !self.traced() {
+            return TraceData::default();
+        }
+        let prep_s = prep.unwrap_or(0.0);
+        let total = prep_s + dist_total_s + post.unwrap_or(0.0);
+        let h = TraceHandle::recording();
+        h.span(format!("skeleton:{name}"), "skeleton", Track::Root, 0.0, total, vec![]);
+        if prep.is_some() {
+            h.span("root:slice", "prep", Track::Root, 0.0, prep_s, vec![]);
+        }
+        if post.is_some() {
+            h.span("root:merge", "merge", Track::Root, prep_s + dist_total_s, total, vec![]);
+        }
+        dist.shift(prep_s);
+        h.absorb(dist);
+        h.take()
+    }
+
     // ======================================================================
     // The master skeleton
     // ======================================================================
@@ -76,112 +132,48 @@ impl Triolet {
     /// thread → node → root hierarchy. `B` must be serializable (node
     /// partials cross the network).
     ///
+    /// `env` is a broadcast read-only *environment*: data every task needs
+    /// in full (mri-q's k-space samples, tpacf's observed dataset). The
+    /// paper's runtime reaches such data through serialized closure captures
+    /// ("serializing an object transitively serializes all objects that it
+    /// references", §3.4); here the environment is explicit so its bytes are
+    /// accounted: one copy ships to every node. Callers with no shared data
+    /// pass `&()` — the unit environment occupies zero wire bytes.
+    ///
     /// `merge` must be associative and commutative: partials combine in
     /// schedule order, not chunk order. For order-sensitive assembly use
     /// [`Triolet::build_vec`] / [`Triolet::build_array2`], which preserve
     /// element order at every level.
-    pub fn fold_reduce<It, B, Seed, Step, Merge>(
-        &self,
-        it: It,
-        seed: Seed,
-        step: Step,
-        merge: Merge,
-    ) -> (B, RunStats)
-    where
-        It: DistIter,
-        B: Wire + Send,
-        Seed: Fn() -> B + Send + Sync,
-        Step: Fn(B, It::Item) -> B + Send + Sync,
-        Merge: Fn(B, B) -> B + Send + Sync,
-    {
-        match it.hint() {
-            ParHint::Sequential => {
-                let t0 = Instant::now();
-                let dom = it.outer_domain();
-                let mut g = |b: B, x: It::Item| step(b, x);
-                let out = it.fold_outer_part(&dom.whole_part(), seed(), &mut g);
-                (out, RunStats::local(t0.elapsed().as_secs_f64()))
-            }
-            ParHint::LocalPar => {
-                let dom = it.outer_domain();
-                let chunks = dom.whole_part().split(self.threads_per_node() * CHUNKS_PER_THREAD);
-                let out = self.cluster.run_raw(vec![RawTask {
-                    wire_bytes: 0, // local execution: nothing ships
-                    work: Box::new(move |ctx: &NodeCtx<'_>| {
-                        ctx.map_reduce_chunks(
-                            chunks,
-                            |chunk| {
-                                let mut g = |b: B, x: It::Item| step(b, x);
-                                it.fold_outer_part(chunk, seed(), &mut g)
-                            },
-                            &merge,
-                        )
-                        .unwrap_or_else(&seed)
-                    }),
-                }]);
-                let mut results = out.results;
-                let value = results.pop().expect("one local task");
-                (value, RunStats::from_dist(out.timing, 0.0))
-            }
-            ParHint::Par => {
-                let dom = it.outer_domain();
-                let parts = dom.split_parts(self.nodes());
-                // Root side: slice each node's data (paper §3.5) — charged
-                // as root time, like the paper's message construction.
-                let t0 = Instant::now();
-                let tasks: Vec<RawTask<'_, B>> = parts
-                    .into_iter()
-                    .map(|part| {
-                        let sub = it.slice_outer(&part);
-                        let wire_bytes = sub.source_bytes() + part.packed_size();
-                        let seed = &seed;
-                        let step = &step;
-                        let merge = &merge;
-                        RawTask {
-                            wire_bytes,
-                            work: Box::new(move |ctx: &NodeCtx<'_>| {
-                                // Node side: data arrives as bytes.
-                                let sub = ctx.sequential(|| sub.roundtrip());
-                                let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
-                                ctx.map_reduce_chunks(
-                                    chunks,
-                                    |chunk| {
-                                        let mut g = |b: B, x: It::Item| step(b, x);
-                                        sub.fold_outer_part(chunk, seed(), &mut g)
-                                    },
-                                    merge,
-                                )
-                                .unwrap_or_else(seed)
-                            }),
-                        }
-                    })
-                    .collect();
-                let root_prep_s = t0.elapsed().as_secs_f64();
-                let out = self.cluster.run_raw(tasks);
-                let t1 = Instant::now();
-                let value = out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
-                let root_merge_s = t1.elapsed().as_secs_f64();
-                (value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
-            }
-        }
-    }
-
-    /// [`Triolet::fold_reduce`] with a broadcast *environment*: read-only
-    /// data every task needs in full (mri-q's k-space samples, tpacf's
-    /// observed dataset).
-    ///
-    /// The paper's runtime reaches such data through serialized closure
-    /// captures ("serializing an object transitively serializes all objects
-    /// that it references", §3.4); here the environment is explicit so its
-    /// bytes are accounted: one copy ships to every node.
-    pub fn fold_reduce_env<It, E, B, Seed, Step, Merge>(
+    pub fn fold_reduce<It, E, B, Seed, Step, Merge>(
         &self,
         it: It,
         env: &E,
         seed: Seed,
         step: Step,
         merge: Merge,
-    ) -> (B, RunStats)
+    ) -> Run<B>
+    where
+        It: DistIter,
+        E: Wire + Clone + Send + Sync,
+        B: Wire + Send,
+        Seed: Fn() -> B + Send + Sync,
+        Step: Fn(&E, B, It::Item) -> B + Send + Sync,
+        Merge: Fn(B, B) -> B + Send + Sync,
+    {
+        self.fold_reduce_named("fold_reduce", it, env, seed, step, merge)
+    }
+
+    /// [`Triolet::fold_reduce`] with an explicit skeleton name, so derived
+    /// consumers label their traces `skeleton:sum`, `skeleton:histogram`, …
+    fn fold_reduce_named<It, E, B, Seed, Step, Merge>(
+        &self,
+        name: &str,
+        it: It,
+        env: &E,
+        seed: Seed,
+        step: Step,
+        merge: Merge,
+    ) -> Run<B>
     where
         It: DistIter,
         E: Wire + Clone + Send + Sync,
@@ -191,14 +183,42 @@ impl Triolet {
         Merge: Fn(B, B) -> B + Send + Sync,
     {
         match it.hint() {
-            ParHint::Sequential | ParHint::LocalPar => {
+            ParHint::Sequential => {
+                let t0 = Instant::now();
+                let dom = it.outer_domain();
+                let mut g = |b: B, x: It::Item| step(env, b, x);
+                let out = it.fold_outer_part(&dom.whole_part(), seed(), &mut g);
+                let total_s = t0.elapsed().as_secs_f64();
+                Run::new(out, RunStats::local(total_s)).with_trace(self.local_trace(name, total_s))
+            }
+            ParHint::LocalPar => {
                 // No node boundary: use the environment in place.
-                let step = &step;
-                self.fold_reduce(it, seed, move |b, x| step(env, b, x), merge)
+                let dom = it.outer_domain();
+                let chunks = dom.whole_part().split(self.threads_per_node() * CHUNKS_PER_THREAD);
+                let out = self.cluster.run_raw(vec![RawTask {
+                    wire_bytes: 0, // local execution: nothing ships
+                    work: Box::new(move |ctx: &NodeCtx<'_>| {
+                        ctx.map_reduce_chunks(
+                            chunks,
+                            |chunk| {
+                                let mut g = |b: B, x: It::Item| step(env, b, x);
+                                it.fold_outer_part(chunk, seed(), &mut g)
+                            },
+                            &merge,
+                        )
+                        .unwrap_or_else(&seed)
+                    }),
+                }]);
+                let trace = self.skeleton_trace(name, None, out.trace, out.timing.total_s, None);
+                let mut results = out.results;
+                let value = results.pop().expect("one local task");
+                Run::new(value, RunStats::from_dist(out.timing, 0.0)).with_trace(trace)
             }
             ParHint::Par => {
                 let dom = it.outer_domain();
                 let parts = dom.split_parts(self.nodes());
+                // Root side: slice each node's data (paper §3.5) — charged
+                // as root time, like the paper's message construction.
                 let t0 = Instant::now();
                 let env_bytes = env.packed_size();
                 let tasks: Vec<RawTask<'_, B>> = parts
@@ -213,6 +233,7 @@ impl Triolet {
                         RawTask {
                             wire_bytes,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
+                                // Node side: data arrives as bytes.
                                 let sub = ctx.sequential(|| sub.roundtrip());
                                 let env: E = ctx.sequential(|| {
                                     triolet_serial::unpack_all(triolet_serial::packed(&env))
@@ -237,7 +258,15 @@ impl Triolet {
                 let t1 = Instant::now();
                 let value = out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
                 let root_merge_s = t1.elapsed().as_secs_f64();
-                (value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                let trace = self.skeleton_trace(
+                    name,
+                    Some(root_prep_s),
+                    out.trace,
+                    out.timing.total_s,
+                    Some(root_merge_s),
+                );
+                Run::new(value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                    .with_trace(trace)
             }
         }
     }
@@ -247,25 +276,36 @@ impl Triolet {
     // ======================================================================
 
     /// Parallel sum (mri-q's inner reduction, dot products, …).
-    pub fn sum<It>(&self, it: It) -> (It::Item, RunStats)
+    pub fn sum<It>(&self, it: It) -> Run<It::Item>
     where
         It: DistIter,
         It::Item: Wire + Send + Default + std::ops::Add<Output = It::Item>,
     {
-        self.fold_reduce(it, It::Item::default, |a, x| a + x, |a, b| a + b)
+        self.fold_reduce_named("sum", it, &(), It::Item::default, |_, a, x| a + x, |a, b| a + b)
     }
 
     /// Parallel reduction with an arbitrary associative operator.
-    pub fn reduce<It, Op>(&self, it: It, op: Op) -> (Option<It::Item>, RunStats)
+    pub fn reduce<It, Op>(&self, it: It, op: Op) -> Run<Option<It::Item>>
     where
         It: DistIter,
         It::Item: Wire + Send,
         Op: Fn(It::Item, It::Item) -> It::Item + Send + Sync,
     {
-        self.fold_reduce(
+        self.reduce_named("reduce", it, op)
+    }
+
+    fn reduce_named<It, Op>(&self, name: &str, it: It, op: Op) -> Run<Option<It::Item>>
+    where
+        It: DistIter,
+        It::Item: Wire + Send,
+        Op: Fn(It::Item, It::Item) -> It::Item + Send + Sync,
+    {
+        self.fold_reduce_named(
+            name,
             it,
+            &(),
             || None,
-            |acc: Option<It::Item>, x| match acc {
+            |_, acc: Option<It::Item>, x| match acc {
                 None => Some(x),
                 Some(a) => Some(op(a, x)),
             },
@@ -278,83 +318,75 @@ impl Triolet {
     }
 
     /// Parallel element count (useful for filtered iterators).
-    pub fn count<It>(&self, it: It) -> (u64, RunStats)
+    pub fn count<It>(&self, it: It) -> Run<u64>
     where
         It: DistIter,
     {
-        self.fold_reduce(it, || 0u64, |n, _| n + 1, |a, b| a + b)
+        self.fold_reduce_named("count", it, &(), || 0u64, |_, n, _| n + 1, |a, b| a + b)
     }
 
     /// Parallel minimum (by `PartialOrd`; NaNs lose).
-    pub fn min<It>(&self, it: It) -> (Option<It::Item>, RunStats)
+    pub fn min<It>(&self, it: It) -> Run<Option<It::Item>>
     where
         It: DistIter,
         It::Item: Wire + Send + PartialOrd,
     {
-        self.reduce(it, |a, b| if b < a { b } else { a })
+        self.reduce_named("min", it, |a, b| if b < a { b } else { a })
     }
 
     /// Parallel maximum (by `PartialOrd`; NaNs lose).
-    pub fn max<It>(&self, it: It) -> (Option<It::Item>, RunStats)
+    pub fn max<It>(&self, it: It) -> Run<Option<It::Item>>
     where
         It: DistIter,
         It::Item: Wire + Send + PartialOrd,
     {
-        self.reduce(it, |a, b| if b > a { b } else { a })
+        self.reduce_named("max", it, |a, b| if b > a { b } else { a })
     }
 
     /// Parallel arithmetic mean of an `f64` iterator; `None` when empty.
-    pub fn mean<It>(&self, it: It) -> (Option<f64>, RunStats)
+    pub fn mean<It>(&self, it: It) -> Run<Option<f64>>
     where
         It: DistIter<Item = f64>,
     {
-        let ((sum, count), stats) = self.fold_reduce(
+        self.fold_reduce_named(
+            "mean",
             it,
+            &(),
             || (0.0f64, 0u64),
-            |(s, n), x| (s + x, n + 1),
+            |_, (s, n), x| (s + x, n + 1),
             |(s1, n1), (s2, n2)| (s1 + s2, n1 + n2),
-        );
-        (if count == 0 { None } else { Some(sum / count as f64) }, stats)
+        )
+        .map(|(sum, count)| if count == 0 { None } else { Some(sum / count as f64) })
     }
 
     /// Drain the iterator into per-task private collectors and merge them:
     /// the generic mutation skeleton (paper §3.4: "a distributed-parallel
     /// histogram performs a distributed reduction, which performs one
     /// threaded reduction per node, which sequentially builds one histogram
-    /// per thread").
-    pub fn collect<It, C, Make>(&self, it: It, make: Make) -> (C::Out, RunStats)
-    where
-        It: DistIter,
-        C: Collector<Item = It::Item> + Wire + Send,
-        Make: Fn() -> C + Send + Sync,
-    {
-        let (c, stats) = self.fold_reduce(
-            it,
-            &make,
-            |mut c: C, x| {
-                c.feed(x);
-                c
-            },
-            |mut a, b| {
-                a.merge(b);
-                a
-            },
-        );
-        (c.finish(), stats)
-    }
-
-    /// [`Triolet::collect`] with a broadcast environment.
-    pub fn collect_env<It, E, C, Make>(&self, it: It, env: &E, make: Make) -> (C::Out, RunStats)
+    /// per thread"). `env` is broadcast to every node like
+    /// [`Triolet::fold_reduce`]'s; pass `&()` when there is none.
+    pub fn collect<It, E, C, Make>(&self, it: It, env: &E, make: Make) -> Run<C::Out>
     where
         It: DistIter,
         E: Wire + Clone + Send + Sync,
         C: Collector<Item = It::Item> + Wire + Send,
         Make: Fn() -> C + Send + Sync,
     {
-        let (c, stats) = self.fold_reduce_env(
+        self.collect_named("collect", it, env, make)
+    }
+
+    fn collect_named<It, E, C, Make>(&self, name: &str, it: It, env: &E, make: Make) -> Run<C::Out>
+    where
+        It: DistIter,
+        E: Wire + Clone + Send + Sync,
+        C: Collector<Item = It::Item> + Wire + Send,
+        Make: Fn() -> C + Send + Sync,
+    {
+        self.fold_reduce_named(
+            name,
             it,
             env,
-            &make,
+            make,
             |_env, mut c: C, x| {
                 c.feed(x);
                 c
@@ -363,25 +395,25 @@ impl Triolet {
                 a.merge(b);
                 a
             },
-        );
-        (c.finish(), stats)
+        )
+        .map(|c| c.finish())
     }
 
     /// Integer-count histogram over `bins` buckets (tpacf's skeleton).
-    pub fn histogram<It>(&self, bins: usize, it: It) -> (Vec<u64>, RunStats)
+    pub fn histogram<It>(&self, bins: usize, it: It) -> Run<Vec<u64>>
     where
         It: DistIter<Item = usize>,
     {
-        self.collect(it, || triolet_iter::CountHist::new(bins))
+        self.collect_named("histogram", it, &(), || triolet_iter::CountHist::new(bins))
     }
 
     /// Floating-point scatter-add over `cells` cells (cutcp's skeleton: a
     /// "floating-point histogram").
-    pub fn scatter_add<It>(&self, cells: usize, it: It) -> (Vec<f64>, RunStats)
+    pub fn scatter_add<It>(&self, cells: usize, it: It) -> Run<Vec<f64>>
     where
         It: DistIter<Item = (usize, f64)>,
     {
-        self.collect(it, || triolet_iter::WeightHist::new(cells))
+        self.collect_named("scatter_add", it, &(), || triolet_iter::WeightHist::new(cells))
     }
 
     /// Materialize a 1-D iterator into a vector, preserving element order.
@@ -391,7 +423,7 @@ impl Triolet {
     /// concatenates fragments in part order. Unlike [`Triolet::fold_reduce`]
     /// — whose merge order follows the dynamic schedule — fragments are
     /// reassembled in chunk order at every level.
-    pub fn build_vec<It>(&self, it: It) -> (Vec<It::Item>, RunStats)
+    pub fn build_vec<It>(&self, it: It) -> Run<Vec<It::Item>>
     where
         It: DistIter<OuterDom = Seq>,
         It::Item: Wire + Send,
@@ -424,7 +456,9 @@ impl Triolet {
                 let t0 = Instant::now();
                 let mut out = Vec::new();
                 it.fold_outer_part(&dom.whole_part(), (), &mut |(), x| out.push(x));
-                (out, RunStats::local(t0.elapsed().as_secs_f64()))
+                let total_s = t0.elapsed().as_secs_f64();
+                Run::new(out, RunStats::local(total_s))
+                    .with_trace(self.local_trace("build_vec", total_s))
             }
             ParHint::LocalPar => {
                 let part = dom.whole_part();
@@ -432,9 +466,11 @@ impl Triolet {
                     wire_bytes: 0,
                     work: Box::new(move |ctx: &NodeCtx<'_>| node_fragment(ctx, &it, &part)),
                 }]);
+                let trace =
+                    self.skeleton_trace("build_vec", None, out.trace, out.timing.total_s, None);
                 let mut results = out.results;
                 let value = results.pop().expect("one local task");
-                (value, RunStats::from_dist(out.timing, 0.0))
+                Run::new(value, RunStats::from_dist(out.timing, 0.0)).with_trace(trace)
             }
             ParHint::Par => {
                 let parts = dom.split_parts(self.nodes());
@@ -461,15 +497,23 @@ impl Triolet {
                 for frag in out.results {
                     value.extend(frag);
                 }
-                let root_s = root_prep_s + t1.elapsed().as_secs_f64();
-                (value, RunStats::from_dist(out.timing, root_s))
+                let root_merge_s = t1.elapsed().as_secs_f64();
+                let trace = self.skeleton_trace(
+                    "build_vec",
+                    Some(root_prep_s),
+                    out.trace,
+                    out.timing.total_s,
+                    Some(root_merge_s),
+                );
+                Run::new(value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                    .with_trace(trace)
             }
         }
     }
 
     /// [`Triolet::build_vec`] with a broadcast environment: materialize
     /// `f(env, item)` per element, preserving order (mri-q's pixel map).
-    pub fn build_vec_env<It, E, U, F>(&self, it: It, env: &E, f: F) -> (Vec<U>, RunStats)
+    pub fn build_vec_env<It, E, U, F>(&self, it: It, env: &E, f: F) -> Run<Vec<U>>
     where
         It: DistIter<OuterDom = Seq>,
         E: Wire + Clone + Send + Sync,
@@ -510,7 +554,9 @@ impl Triolet {
                 let t0 = Instant::now();
                 let mut out = Vec::with_capacity(dom.count());
                 it.fold_outer_part(&dom.whole_part(), (), &mut |(), x| out.push(f(env, x)));
-                (out, RunStats::local(t0.elapsed().as_secs_f64()))
+                let total_s = t0.elapsed().as_secs_f64();
+                Run::new(out, RunStats::local(total_s))
+                    .with_trace(self.local_trace("build_vec_env", total_s))
             }
             ParHint::LocalPar => {
                 let part = dom.whole_part();
@@ -519,9 +565,11 @@ impl Triolet {
                     wire_bytes: 0,
                     work: Box::new(move |ctx: &NodeCtx<'_>| node_fragment(ctx, &it, env, &part, f)),
                 }]);
+                let trace =
+                    self.skeleton_trace("build_vec_env", None, out.trace, out.timing.total_s, None);
                 let mut results = out.results;
                 let value = results.pop().expect("one local task");
-                (value, RunStats::from_dist(out.timing, 0.0))
+                Run::new(value, RunStats::from_dist(out.timing, 0.0)).with_trace(trace)
             }
             ParHint::Par => {
                 let parts = dom.split_parts(self.nodes());
@@ -555,8 +603,16 @@ impl Triolet {
                 for frag in out.results {
                     value.extend(frag);
                 }
-                let root_s = root_prep_s + t1.elapsed().as_secs_f64();
-                (value, RunStats::from_dist(out.timing, root_s))
+                let root_merge_s = t1.elapsed().as_secs_f64();
+                let trace = self.skeleton_trace(
+                    "build_vec_env",
+                    Some(root_prep_s),
+                    out.trace,
+                    out.timing.total_s,
+                    Some(root_merge_s),
+                );
+                Run::new(value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                    .with_trace(trace)
             }
         }
     }
@@ -567,7 +623,7 @@ impl Triolet {
     /// [`Dim3`](triolet_domain::Dim3) distribution uses slab parts, which
     /// are contiguous in row-major linearization, so assembly is ordered
     /// concatenation like [`Triolet::build_vec`].
-    pub fn build_array3<It>(&self, it: It) -> (triolet_iter::Array3<It::Item>, RunStats)
+    pub fn build_array3<It>(&self, it: It) -> Run<triolet_iter::Array3<It::Item>>
     where
         It: DistIter<OuterDom = triolet_domain::Dim3>,
         It::Item: Wire + Send,
@@ -578,10 +634,9 @@ impl Triolet {
                 let t0 = Instant::now();
                 let mut data = Vec::with_capacity(dom.count());
                 it.fold_outer_part(&dom.whole_part(), (), &mut |(), x| data.push(x));
-                (
-                    triolet_iter::Array3::from_vec(data, dom),
-                    RunStats::local(t0.elapsed().as_secs_f64()),
-                )
+                let total_s = t0.elapsed().as_secs_f64();
+                Run::new(triolet_iter::Array3::from_vec(data, dom), RunStats::local(total_s))
+                    .with_trace(self.local_trace("build_array3", total_s))
             }
             ParHint::LocalPar | ParHint::Par => {
                 let parts = if it.hint() == ParHint::Par {
@@ -628,15 +683,26 @@ impl Triolet {
                 for frag in out.results {
                     data.extend(frag);
                 }
-                let root_s = root_prep_s + t1.elapsed().as_secs_f64();
-                (triolet_iter::Array3::from_vec(data, dom), RunStats::from_dist(out.timing, root_s))
+                let root_merge_s = t1.elapsed().as_secs_f64();
+                let trace = self.skeleton_trace(
+                    "build_array3",
+                    Some(root_prep_s),
+                    out.trace,
+                    out.timing.total_s,
+                    Some(root_merge_s),
+                );
+                Run::new(
+                    triolet_iter::Array3::from_vec(data, dom),
+                    RunStats::from_dist(out.timing, root_prep_s + root_merge_s),
+                )
+                .with_trace(trace)
             }
         }
     }
 
     /// Materialize a 2-D iterator into a dense matrix (sgemm's output
     /// assembly): nodes compute rectangular blocks, the root places them.
-    pub fn build_array2<It>(&self, it: It) -> (Array2<It::Item>, RunStats)
+    pub fn build_array2<It>(&self, it: It) -> Run<Array2<It::Item>>
     where
         It: DistIter<OuterDom = Dim2>,
         It::Item: Wire + Send + Clone + Default,
@@ -678,8 +744,9 @@ impl Triolet {
                 let t0 = Instant::now();
                 let mut data = Vec::with_capacity(dom.count());
                 it.fold_outer_part(&dom.whole_part(), (), &mut |(), x| data.push(x));
-                let stats = RunStats::local(t0.elapsed().as_secs_f64());
-                (Array2::from_vec(data, dom.rows, dom.cols), stats)
+                let total_s = t0.elapsed().as_secs_f64();
+                Run::new(Array2::from_vec(data, dom.rows, dom.cols), RunStats::local(total_s))
+                    .with_trace(self.local_trace("build_array2", total_s))
             }
             ParHint::LocalPar => {
                 let part = dom.whole_part();
@@ -687,9 +754,15 @@ impl Triolet {
                     wire_bytes: 0,
                     work: Box::new(move |ctx: &NodeCtx<'_>| assemble_block(ctx, &it, &part)),
                 }]);
+                let trace =
+                    self.skeleton_trace("build_array2", None, out.trace, out.timing.total_s, None);
                 let mut results = out.results;
                 let data = results.pop().expect("one local task");
-                (Array2::from_vec(data, dom.rows, dom.cols), RunStats::from_dist(out.timing, 0.0))
+                Run::new(
+                    Array2::from_vec(data, dom.rows, dom.cols),
+                    RunStats::from_dist(out.timing, 0.0),
+                )
+                .with_trace(trace)
             }
             ParHint::Par => {
                 let parts = dom.split_parts(self.nodes());
@@ -719,8 +792,16 @@ impl Triolet {
                         result[(r, c)] = x;
                     }
                 }
-                let root_s = root_prep_s + t1.elapsed().as_secs_f64();
-                (result, RunStats::from_dist(out.timing, root_s))
+                let root_merge_s = t1.elapsed().as_secs_f64();
+                let trace = self.skeleton_trace(
+                    "build_array2",
+                    Some(root_prep_s),
+                    out.trace,
+                    out.timing.total_s,
+                    Some(root_merge_s),
+                );
+                Run::new(result, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                    .with_trace(trace)
             }
         }
     }
@@ -744,8 +825,7 @@ mod tests {
         for hinted in
             [from_vec(xs.clone()), from_vec(xs.clone()).localpar(), from_vec(xs.clone()).par()]
         {
-            let (s, _) = rt.sum(hinted);
-            assert_eq!(s, expect);
+            assert_eq!(rt.sum(hinted).value, expect);
         }
     }
 
@@ -754,7 +834,7 @@ mod tests {
         let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
         let rt = rt(4, 2);
         let full_bytes = from_vec(xs.clone()).source_bytes() as u64;
-        let (_, stats) = rt.sum(from_vec(xs).par());
+        let stats = rt.sum(from_vec(xs).par()).stats;
         // Each node receives ~1/4 of the data; the total outgoing bytes are
         // about one full copy (plus part headers), NOT nodes x full copy.
         assert!(
@@ -771,27 +851,55 @@ mod tests {
     fn sum_of_filtered_distributes() {
         let xs: Vec<i64> = (0..999).collect();
         let expect: i64 = xs.iter().filter(|&&x| x % 7 == 0).sum();
-        let (s, _) = rt(3, 2).sum(from_vec(xs).filter(|x: &i64| x % 7 == 0).par());
+        let s = rt(3, 2).sum(from_vec(xs).filter(|x: &i64| x % 7 == 0).par()).value;
         assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn fold_reduce_with_environment() {
+        let xs: Vec<i64> = (0..200).collect();
+        let scale: i64 = 3;
+        let expect: i64 = xs.iter().map(|x| x * scale).sum();
+        let run = rt(4, 2).fold_reduce(
+            from_vec(xs).par(),
+            &scale,
+            || 0i64,
+            |k, a, x| a + k * x,
+            |a, b| a + b,
+        );
+        assert_eq!(run.value, expect);
+        // The environment ships once per node on top of the sliced data.
+        assert!(run.stats.bytes_out > 0);
+    }
+
+    #[test]
+    fn unit_environment_ships_no_extra_bytes() {
+        let xs: Vec<i64> = (0..256).collect();
+        let rt = rt(2, 2);
+        let plain = rt.sum(from_vec(xs.clone()).par()).stats.bytes_out;
+        let with_unit = rt
+            .fold_reduce(from_vec(xs).par(), &(), || 0i64, |(), a, x| a + x, |a, b| a + b)
+            .stats
+            .bytes_out;
+        assert_eq!(plain, with_unit);
     }
 
     #[test]
     fn reduce_max() {
         let xs: Vec<i64> = (0..500).map(|i| (i * 37) % 251).collect();
         let expect = xs.iter().copied().max();
-        let (m, _) = rt(4, 2).reduce(from_vec(xs).par(), i64::max);
-        assert_eq!(m, expect);
+        assert_eq!(rt(4, 2).reduce(from_vec(xs).par(), i64::max).value, expect);
     }
 
     #[test]
     fn reduce_empty_is_none() {
-        let (m, _) = rt(2, 2).reduce(from_vec(Vec::<i64>::new()).par(), i64::max);
+        let m = rt(2, 2).reduce(from_vec(Vec::<i64>::new()).par(), i64::max).value;
         assert!(m.is_none());
     }
 
     #[test]
     fn count_filtered() {
-        let (n, _) = rt(4, 4).count(range(1000).filter(|i: &usize| i.is_multiple_of(3)).par());
+        let n = rt(4, 4).count(range(1000).filter(|i: &usize| i.is_multiple_of(3)).par()).value;
         assert_eq!(n, 334);
     }
 
@@ -799,7 +907,7 @@ mod tests {
     fn histogram_matches_sequential() {
         let xs: Vec<u32> = (0..5000).map(|i| (i * 31 + 7) % 10).collect();
         let it = from_vec(xs.clone()).map(|x: u32| x as usize);
-        let (hist, _) = rt(4, 4).histogram(10, it.par());
+        let hist = rt(4, 4).histogram(10, it.par()).value;
         let mut expect = vec![0u64; 10];
         for x in xs {
             expect[x as usize] += 1;
@@ -810,7 +918,7 @@ mod tests {
     #[test]
     fn scatter_add_matches_sequential() {
         let pairs: Vec<(usize, f64)> = (0..2000).map(|i| (i % 16, (i as f64) * 0.25)).collect();
-        let (grid, _) = rt(2, 4).scatter_add(16, from_vec(pairs.clone()).par());
+        let grid = rt(2, 4).scatter_add(16, from_vec(pairs.clone()).par()).value;
         let mut expect = vec![0.0f64; 16];
         for (b, w) in pairs {
             expect[b] += w;
@@ -822,21 +930,21 @@ mod tests {
 
     #[test]
     fn build_vec_preserves_order() {
-        let (v, _) = rt(4, 2).build_vec(range(100).map(|i: usize| i * 3).par());
+        let v = rt(4, 2).build_vec(range(100).map(|i: usize| i * 3).par()).value;
         assert_eq!(v, (0..100).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]
     fn build_vec_irregular_preserves_order() {
         let it = range(50).map(|i: usize| i as i64).filter(|x: &i64| x % 2 == 0).par();
-        let (v, _) = rt(4, 2).build_vec(it);
+        let v = rt(4, 2).build_vec(it).value;
         assert_eq!(v, (0..50).filter(|x| x % 2 == 0).map(|x| x as i64).collect::<Vec<_>>());
     }
 
     #[test]
     fn build_array2_blocks_assemble() {
         let it = range2d(8, 6).map(|(r, c): (usize, usize)| (r * 100 + c) as i64).par();
-        let (m, _) = rt(4, 2).build_array2(it);
+        let m = rt(4, 2).build_array2(it).value;
         assert_eq!(m.rows(), 8);
         assert_eq!(m.cols(), 6);
         for r in 0..8 {
@@ -849,7 +957,7 @@ mod tests {
     #[test]
     fn localpar_does_not_ship_bytes() {
         let xs: Vec<f32> = (0..512).map(|i| i as f32).collect();
-        let (_, stats) = rt(4, 4).sum(from_vec(xs).localpar());
+        let stats = rt(4, 4).sum(from_vec(xs).localpar()).stats;
         assert_eq!(stats.bytes_out, 0);
     }
 
@@ -858,14 +966,14 @@ mod tests {
         let xs: Vec<i64> = (0..4000).collect();
         let expect: i64 = xs.iter().sum();
         let m = Triolet::new(ClusterConfig::measured(2, 2));
-        let (s, stats) = m.sum(from_vec(xs).par());
+        let (s, stats) = m.sum(from_vec(xs).par()).into_inner();
         assert_eq!(s, expect);
         assert!(stats.total_s > 0.0);
     }
 
     #[test]
     fn more_nodes_than_elements() {
-        let (s, _) = rt(8, 2).sum(from_vec(vec![1i64, 2, 3]).par());
+        let s = rt(8, 2).sum(from_vec(vec![1i64, 2, 3]).par()).value;
         assert_eq!(s, 6);
     }
 
@@ -874,11 +982,13 @@ mod tests {
         // A per-grid-point (gather-style) computation over a Dim3 domain.
         let dom = triolet_domain::Dim3::new(4, 3, 5);
         let engine = rt(3, 2);
-        let (g, _) = engine.build_array3(
-            triolet_iter::indices(dom)
-                .map(|(x, y, z): (usize, usize, usize)| (x * 100 + y * 10 + z) as i64)
-                .par(),
-        );
+        let g = engine
+            .build_array3(
+                triolet_iter::indices(dom)
+                    .map(|(x, y, z): (usize, usize, usize)| (x * 100 + y * 10 + z) as i64)
+                    .par(),
+            )
+            .value;
         for x in 0..4 {
             for y in 0..3 {
                 for z in 0..5 {
@@ -887,33 +997,65 @@ mod tests {
             }
         }
         // LocalPar agrees.
-        let (g2, stats) = engine.build_array3(
+        let run = engine.build_array3(
             triolet_iter::indices(dom)
                 .map(|(x, y, z): (usize, usize, usize)| (x * 100 + y * 10 + z) as i64)
                 .localpar(),
         );
-        assert_eq!(g, g2);
-        assert_eq!(stats.bytes_out, 0);
+        assert_eq!(g, run.value);
+        assert_eq!(run.stats.bytes_out, 0);
     }
 
     #[test]
     fn min_max_mean() {
         let engine = rt(3, 2);
         let xs: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
-        let (mn, _) = engine.min(from_vec(xs.clone()).par());
-        let (mx, _) = engine.max(from_vec(xs.clone()).par());
-        let (avg, _) = engine.mean(from_vec(xs.clone()).par());
-        assert_eq!(mn, Some(0.0));
-        assert_eq!(mx, Some(100.0));
+        assert_eq!(engine.min(from_vec(xs.clone()).par()).value, Some(0.0));
+        assert_eq!(engine.max(from_vec(xs.clone()).par()).value, Some(100.0));
+        let avg = engine.mean(from_vec(xs.clone()).par()).value;
         let expect = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((avg.unwrap() - expect).abs() < 1e-12);
-        let (none, _) = engine.mean(from_vec(Vec::<f64>::new()).par());
-        assert!(none.is_none());
+        assert!(engine.mean(from_vec(Vec::<f64>::new()).par()).value.is_none());
     }
 
     #[test]
     fn empty_input_par_sum_is_zero() {
-        let (s, _) = rt(4, 4).sum(from_vec(Vec::<i64>::new()).par());
+        let s = rt(4, 4).sum(from_vec(Vec::<i64>::new()).par()).value;
         assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn untraced_run_has_empty_trace() {
+        let run = rt(4, 2).sum(from_vec((0..100i64).collect::<Vec<_>>()).par());
+        assert!(run.trace.is_empty());
+    }
+
+    #[test]
+    fn traced_sum_records_skeleton_hierarchy() {
+        let engine = Triolet::new(ClusterConfig::virtual_cluster(3, 2).with_trace(true));
+        assert!(engine.traced());
+        let xs: Vec<i64> = (0..3000).collect();
+        let run = engine.sum(from_vec(xs.clone()).par());
+        assert_eq!(run.value, xs.iter().sum::<i64>());
+        let names = run.trace.span_names();
+        for want in ["skeleton:sum", "root:slice", "root:merge", "send", "node:task", "chunk"] {
+            assert!(names.contains(&want), "missing span {want:?} in {names:?}");
+        }
+        // The skeleton span opens the trace and covers every other span.
+        let skel = &run.trace.spans[0];
+        assert_eq!(skel.name, "skeleton:sum");
+        assert_eq!(skel.t0, 0.0);
+        for s in &run.trace.spans {
+            assert!(s.t0 >= -1e-12 && s.t1 <= skel.t1 + 1e-9, "{s:?} outside skeleton span");
+        }
+        // The trace agrees with the aggregate stats on total time.
+        assert!((skel.t1 - run.stats.total_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_sequential_run_records_one_span() {
+        let engine = Triolet::new(ClusterConfig::virtual_cluster(2, 2).with_trace(true));
+        let run = engine.sum(from_vec((0..50i64).collect::<Vec<_>>()));
+        assert_eq!(run.trace.span_names(), vec!["skeleton:sum"]);
     }
 }

@@ -31,27 +31,35 @@
 //! let ys: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
 //!
 //! let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 4));
-//! let (dot, _stats) = rt.sum(
+//! let run = rt.sum(
 //!     zip(from_vec(xs.clone()), from_vec(ys.clone()))
 //!         .map(|(x, y): (f64, f64)| x * y)
 //!         .par(),
 //! );
 //!
 //! let expect: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
-//! assert!((dot - expect).abs() < 1e-9);
+//! assert!((run.value - expect).abs() < 1e-9);
+//! assert!(run.stats.total_s >= 0.0);
 //! ```
+//!
+//! Every skeleton returns a [`Run`]: the value, its [`RunStats`], and — when
+//! the cluster is configured with `with_trace(true)` — a [`TraceData`]
+//! timeline exportable to chrome://tracing JSON.
 
 pub mod dist;
 pub mod engine;
 pub mod report;
+pub mod run;
 
 pub use dist::DistIter;
 pub use engine::Triolet;
 pub use report::RunStats;
+pub use run::Run;
 
 // Re-export the substrate crates under the facade.
 pub use triolet_cluster::{
-    Cluster, ClusterConfig, CostModel, DistTiming, ExecMode, FaultPlan, NodeCtx, TrafficStats,
+    Cluster, ClusterConfig, CostModel, DistTiming, ExecMode, FaultPlan, NodeCtx, TraceData,
+    TraceHandle, Track, TrafficStats,
 };
 pub use triolet_domain::{Dim2, Dim2Part, Dim3, Dim3Part, Domain, Part, Seq, SeqPart};
 pub use triolet_iter::{
@@ -67,7 +75,8 @@ pub mod prelude {
     pub use crate::dist::DistIter;
     pub use crate::engine::Triolet;
     pub use crate::report::RunStats;
-    pub use triolet_cluster::{ClusterConfig, CostModel, ExecMode, FaultPlan};
+    pub use crate::run::Run;
+    pub use triolet_cluster::{ClusterConfig, CostModel, ExecMode, FaultPlan, TraceData};
     pub use triolet_domain::{Dim2, Dim3, Domain, Part, Seq};
     pub use triolet_iter::prelude::*;
 }

@@ -1,0 +1,60 @@
+//! The [`Run`] wrapper every skeleton returns: value + stats + trace.
+
+use triolet_obs::TraceData;
+
+use crate::report::RunStats;
+
+/// The result of one skeleton execution.
+///
+/// Replaces the old `(T, RunStats)` tuple so a third field — the recorded
+/// span timeline — can ride along without widening every signature again.
+/// `trace` is empty unless the runtime's cluster was configured with
+/// [`ClusterConfig::with_trace`](triolet_cluster::ClusterConfig::with_trace).
+#[derive(Debug, Clone)]
+pub struct Run<T> {
+    /// The skeleton's result.
+    pub value: T,
+    /// Timing and traffic breakdown.
+    pub stats: RunStats,
+    /// Recorded span/event timeline (empty when tracing is off).
+    pub trace: TraceData,
+}
+
+impl<T> Run<T> {
+    /// Wrap a value and stats with an empty trace.
+    pub fn new(value: T, stats: RunStats) -> Self {
+        Run { value, stats, trace: TraceData::default() }
+    }
+
+    /// Attach a recorded timeline.
+    pub fn with_trace(mut self, trace: TraceData) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Split back into the old `(value, stats)` pair, dropping the trace.
+    pub fn into_inner(self) -> (T, RunStats) {
+        (self.value, self.stats)
+    }
+
+    /// Transform the value, keeping stats and trace.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Run<U> {
+        Run { value: f(self.value), stats: self.stats, trace: self.trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn into_inner_and_map_keep_stats() {
+        let r = Run::new(21u64, RunStats::local(1.0));
+        let doubled = r.map(|v| v * 2);
+        assert_eq!(doubled.value, 42);
+        assert!(doubled.trace.is_empty());
+        let (v, stats) = doubled.into_inner();
+        assert_eq!(v, 42);
+        assert_eq!(stats.total_s, 1.0);
+    }
+}

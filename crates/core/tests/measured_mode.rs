@@ -15,46 +15,45 @@ fn all_consumers_agree_with_sequential() {
     let rt = measured(2, 2);
     let xs: Vec<i64> = (0..5000).map(|i| (i * 2654435761) % 997 - 498).collect();
 
-    let (sum, _) = rt.sum(from_vec(xs.clone()).par());
-    assert_eq!(sum, xs.iter().sum::<i64>());
+    let sum = rt.sum(from_vec(xs.clone()).par());
+    assert_eq!(sum.value, xs.iter().sum::<i64>());
 
-    let (cnt, _) = rt.count(from_vec(xs.clone()).filter(|x: &i64| *x > 0).par());
-    assert_eq!(cnt, xs.iter().filter(|&&x| x > 0).count() as u64);
+    let cnt = rt.count(from_vec(xs.clone()).filter(|x: &i64| *x > 0).par());
+    assert_eq!(cnt.value, xs.iter().filter(|&&x| x > 0).count() as u64);
 
-    let (mx, _) = rt.max(from_vec(xs.clone()).par());
-    assert_eq!(mx, xs.iter().copied().max());
+    let mx = rt.max(from_vec(xs.clone()).par());
+    assert_eq!(mx.value, xs.iter().copied().max());
 
-    let (v, _) = rt.build_vec(from_vec(xs.clone()).map(|x: i64| x * 2).par());
-    assert_eq!(v, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    let v = rt.build_vec(from_vec(xs.clone()).map(|x: i64| x * 2).par());
+    assert_eq!(v.value, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
 
-    let (hist, _) =
-        rt.histogram(64, from_vec(xs.clone()).map(|x: i64| x.rem_euclid(64) as usize).par());
+    let hist = rt.histogram(64, from_vec(xs.clone()).map(|x: i64| x.rem_euclid(64) as usize).par());
     let mut expect = vec![0u64; 64];
     for x in &xs {
         expect[x.rem_euclid(64) as usize] += 1;
     }
-    assert_eq!(hist, expect);
+    assert_eq!(hist.value, expect);
 }
 
 #[test]
 fn build_array2_measured() {
     let rt = measured(2, 2);
-    let (m, _) =
+    let m =
         rt.build_array2(range2d(13, 9).map(|(r, c): (usize, usize)| (r * 100 + c) as u32).par());
     let expect = Array2::from_fn(13, 9, |r, c| (r * 100 + c) as u32);
-    assert_eq!(m, expect);
+    assert_eq!(m.value, expect);
 }
 
 #[test]
 fn env_skeletons_measured() {
     let rt = measured(2, 2);
     let weights: Vec<f64> = (0..32).map(|i| i as f64 * 0.25).collect();
-    let (v, _) =
+    let v =
         rt.build_vec_env(range(200), &weights, |w: &Vec<f64>, i: usize| w[i % w.len()] * i as f64);
     let expect: Vec<f64> = (0..200).map(|i| weights[i % 32] * i as f64).collect();
-    assert_eq!(v, expect);
+    assert_eq!(v.value, expect);
 
-    let (h, _) = rt.fold_reduce_env(
+    let h = rt.fold_reduce(
         range(1000).par(),
         &weights,
         || CountHist::new(32),
@@ -67,7 +66,7 @@ fn env_skeletons_measured() {
             a
         },
     );
-    assert_eq!(h.bins().iter().sum::<u64>(), 1000);
+    assert_eq!(h.value.bins().iter().sum::<u64>(), 1000);
 }
 
 #[test]
@@ -77,8 +76,8 @@ fn runtime_is_reusable_across_many_operations() {
     let rt = measured(2, 2);
     let mut total = 0u64;
     for i in 0..50u64 {
-        let (s, _) = rt.sum(range(100).map(move |k: usize| k as u64 + i).par());
-        total += s;
+        let s = rt.sum(range(100).map(move |k: usize| k as u64 + i).par());
+        total += s.value;
     }
     let per_run: u64 = (0..100u64).sum();
     let expect: u64 = (0..50u64).map(|i| per_run + 100 * i).sum();
@@ -94,10 +93,10 @@ fn runtime_shared_across_os_threads() {
             .map(|t| {
                 let rt = std::sync::Arc::clone(&rt);
                 s.spawn(move || {
-                    let (c, _) = rt.count(
+                    let c = rt.count(
                         range(400).filter(move |i: &usize| (*i as u64).is_multiple_of(t + 2)).par(),
                     );
-                    c
+                    c.value
                 })
             })
             .collect();
@@ -113,7 +112,7 @@ fn runtime_shared_across_os_threads() {
 fn virtual_and_measured_bytes_match() {
     // The traffic accounting must not depend on the execution mode.
     let xs: Vec<f32> = (0..3000).map(|i| i as f32).collect();
-    let run = |rt: &Triolet| rt.sum(from_vec(xs.clone()).map(|x: f32| x as f64).par()).1;
+    let run = |rt: &Triolet| rt.sum(from_vec(xs.clone()).map(|x: f32| x as f64).par()).stats;
     let v = run(&Triolet::new(ClusterConfig::virtual_cluster(3, 2)));
     let m = run(&measured(3, 2));
     assert_eq!(v.bytes_out, m.bytes_out);

@@ -99,7 +99,14 @@ impl<T: 'static> DynIter<T> {
     }
 
     /// `map` — Figure 2: shape-preserving on all four constructors.
-    pub fn map<U: 'static>(self, f: std::rc::Rc<dyn Fn(T) -> U>) -> DynIter<U> {
+    ///
+    /// Takes any plain closure; the `Rc` the recursive equations need for
+    /// shared ownership across nesting levels is an internal detail.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> DynIter<U> {
+        self.map_rc(std::rc::Rc::new(f))
+    }
+
+    fn map_rc<U: 'static>(self, f: std::rc::Rc<dyn Fn(T) -> U>) -> DynIter<U> {
         match self {
             DynIter::IdxFlat(idx) => {
                 let g = f.clone();
@@ -111,18 +118,22 @@ impl<T: 'static> DynIter<T> {
             }
             DynIter::IdxNest(idx) => {
                 let g = f.clone();
-                DynIter::IdxNest(DynIdx::new(idx.len, move |i| (idx.get)(i).map(g.clone())))
+                DynIter::IdxNest(DynIdx::new(idx.len, move |i| (idx.get)(i).map_rc(g.clone())))
             }
             DynIter::StepNest(s) => {
                 let g = f.clone();
-                DynIter::StepNest(Box::new(s.map(move |inner| inner.map(g.clone()))))
+                DynIter::StepNest(Box::new(s.map(move |inner| inner.map_rc(g.clone()))))
             }
         }
     }
 
     /// `filter` — Figure 2: a flat indexer becomes an indexer of steppers
     /// (IdxNest); the other constructors recurse or filter in place.
-    pub fn filter(self, p: std::rc::Rc<dyn Fn(&T) -> bool>) -> DynIter<T> {
+    pub fn filter(self, p: impl Fn(&T) -> bool + 'static) -> DynIter<T> {
+        self.filter_rc(std::rc::Rc::new(p))
+    }
+
+    fn filter_rc(self, p: std::rc::Rc<dyn Fn(&T) -> bool>) -> DynIter<T> {
         match self {
             DynIter::IdxFlat(idx) => {
                 let q = p.clone();
@@ -138,18 +149,22 @@ impl<T: 'static> DynIter<T> {
             }
             DynIter::IdxNest(idx) => {
                 let q = p.clone();
-                DynIter::IdxNest(DynIdx::new(idx.len, move |i| (idx.get)(i).filter(q.clone())))
+                DynIter::IdxNest(DynIdx::new(idx.len, move |i| (idx.get)(i).filter_rc(q.clone())))
             }
             DynIter::StepNest(s) => {
                 let q = p.clone();
-                DynIter::StepNest(Box::new(s.map(move |inner| inner.filter(q.clone()))))
+                DynIter::StepNest(Box::new(s.map(move |inner| inner.filter_rc(q.clone()))))
             }
         }
     }
 
     /// `concatMap` — Figure 2: flat indexers nest; flat steppers become
     /// stepper nests; nested shapes recurse.
-    pub fn concat_map<U: 'static>(self, f: std::rc::Rc<dyn Fn(T) -> DynIter<U>>) -> DynIter<U> {
+    pub fn concat_map<U: 'static>(self, f: impl Fn(T) -> DynIter<U> + 'static) -> DynIter<U> {
+        self.concat_map_rc(std::rc::Rc::new(f))
+    }
+
+    fn concat_map_rc<U: 'static>(self, f: std::rc::Rc<dyn Fn(T) -> DynIter<U>>) -> DynIter<U> {
         match self {
             DynIter::IdxFlat(idx) => {
                 let g = f.clone();
@@ -161,11 +176,13 @@ impl<T: 'static> DynIter<T> {
             }
             DynIter::IdxNest(idx) => {
                 let g = f.clone();
-                DynIter::IdxNest(DynIdx::new(idx.len, move |i| (idx.get)(i).concat_map(g.clone())))
+                DynIter::IdxNest(DynIdx::new(idx.len, move |i| {
+                    (idx.get)(i).concat_map_rc(g.clone())
+                }))
             }
             DynIter::StepNest(s) => {
                 let g = f.clone();
-                DynIter::StepNest(Box::new(s.map(move |inner| inner.concat_map(g.clone()))))
+                DynIter::StepNest(Box::new(s.map(move |inner| inner.concat_map_rc(g.clone()))))
             }
         }
     }
@@ -265,7 +282,6 @@ impl<T: 'static> DynIter<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
 
     fn nums(n: i64) -> DynIter<i64> {
         DynIter::from_vec((0..n).collect())
@@ -274,29 +290,28 @@ mod tests {
     #[test]
     fn figure2_shape_rules() {
         // map preserves shape.
-        let m = nums(5).map(Rc::new(|x| x * 2));
+        let m = nums(5).map(|x| x * 2);
         assert_eq!(m.constructor(), "IdxFlat");
         // filter on a flat indexer yields IdxNest (still partitionable!).
-        let f = nums(5).filter(Rc::new(|x: &i64| x % 2 == 0));
+        let f = nums(5).filter(|x: &i64| x % 2 == 0);
         assert_eq!(f.constructor(), "IdxNest");
         assert!(f.outer_parallelizable());
         // concat_map on a flat stepper yields StepNest (sequential).
-        let s = DynIter::from_step(0..5i64).concat_map(Rc::new(|x| DynIter::from_step(0..x)));
+        let s = DynIter::from_step(0..5i64).concat_map(|x| DynIter::from_step(0..x));
         assert_eq!(s.constructor(), "StepNest");
         assert!(!s.outer_parallelizable());
         // filter of filter stays IdxNest: irregularity never escapes the
         // inner level.
-        let ff =
-            nums(10).filter(Rc::new(|x: &i64| x % 2 == 0)).filter(Rc::new(|x: &i64| x % 3 == 0));
+        let ff = nums(10).filter(|x: &i64| x % 2 == 0).filter(|x: &i64| x % 3 == 0);
         assert_eq!(ff.constructor(), "IdxNest");
     }
 
     #[test]
     fn dyn_pipeline_matches_reference() {
         let got = nums(50)
-            .map(Rc::new(|x| x * 3))
-            .filter(Rc::new(|x: &i64| x % 2 == 0))
-            .concat_map(Rc::new(|x| DynIter::from_step(0..x % 5)))
+            .map(|x| x * 3)
+            .filter(|x: &i64| x % 2 == 0)
+            .concat_map(|x| DynIter::from_step(0..x % 5))
             .collect_vec();
         let expect: Vec<i64> =
             (0..50).map(|x| x * 3).filter(|x| x % 2 == 0).flat_map(|x| 0..x % 5).collect();
@@ -305,7 +320,7 @@ mod tests {
 
     #[test]
     fn into_step_flattens_all_constructors() {
-        let nested = nums(4).concat_map(Rc::new(|x| DynIter::from_vec(vec![x; x as usize])));
+        let nested = nums(4).concat_map(|x| DynIter::from_vec(vec![x; x as usize]));
         assert_eq!(nested.constructor(), "IdxNest");
         let flat: Vec<i64> = nested.into_step().collect();
         assert_eq!(flat, vec![1, 2, 2, 3, 3, 3]);
@@ -313,8 +328,8 @@ mod tests {
 
     #[test]
     fn fold_and_step_agree() {
-        let a = nums(30).filter(Rc::new(|x: &i64| x % 4 != 0)).fold(0i64, &mut |acc, x| acc + x);
-        let b: i64 = nums(30).filter(Rc::new(|x: &i64| x % 4 != 0)).into_step().sum();
+        let a = nums(30).filter(|x: &i64| x % 4 != 0).fold(0i64, &mut |acc, x| acc + x);
+        let b: i64 = nums(30).filter(|x: &i64| x % 4 != 0).into_step().sum();
         assert_eq!(a, b);
     }
 
@@ -330,9 +345,9 @@ mod tests {
             .concat_map(|x: i64| StepFlat::new(0..x % 4))
             .collect_vec();
         let via_dyn = DynIter::from_vec((0..100i64).collect::<Vec<i64>>())
-            .map(Rc::new(|x| x + 1))
-            .filter(Rc::new(|x: &i64| x % 3 == 0))
-            .concat_map(Rc::new(|x| DynIter::from_step(0..x % 4)))
+            .map(|x| x + 1)
+            .filter(|x: &i64| x % 3 == 0)
+            .concat_map(|x| DynIter::from_step(0..x % 4))
             .collect_vec();
         assert_eq!(via_static, via_dyn);
     }
@@ -340,7 +355,7 @@ mod tests {
     #[test]
     fn empty_cases() {
         assert!(DynIter::<i64>::from_vec(vec![]).collect_vec().is_empty());
-        let e = DynIter::from_vec(Vec::<i64>::new()).filter(Rc::new(|_: &i64| true));
+        let e = DynIter::from_vec(Vec::<i64>::new()).filter(|_: &i64| true);
         assert!(e.collect_vec().is_empty());
     }
 }

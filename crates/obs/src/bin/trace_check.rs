@@ -1,0 +1,74 @@
+//! Offline trace validator for CI: check that an exported chrome://tracing
+//! file parses as JSON, has a non-empty `traceEvents` array, and contains
+//! every required span/event name given on the command line.
+//!
+//! ```text
+//! trace_check out.trace.json skeleton:build_vec dispatch chunk
+//! trace_check out.trace.json --events retry redispatch
+//! ```
+//!
+//! Names before `--events` must appear as spans (`ph: "X"`); names after it
+//! must appear as instants (`ph: "i"`). Exits non-zero with a diagnostic on
+//! the first failure.
+
+use std::process::ExitCode;
+
+use triolet_obs::json::{parse, Value};
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("trace_check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((path, rest)) = args.split_first() else {
+        return fail("usage: trace_check FILE [SPAN_NAME...] [--events EVENT_NAME...]".into());
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("cannot read {path}: {e}")),
+    };
+    let doc = match parse(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("{path} is not valid JSON: {e}")),
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_array) else {
+        return fail(format!("{path} has no traceEvents array"));
+    };
+    if events.is_empty() {
+        return fail(format!("{path}: traceEvents is empty"));
+    }
+    let names_with_ph = |ph: &str| -> Vec<&str> {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph))
+            .filter_map(|e| e.get("name").and_then(Value::as_str))
+            .collect()
+    };
+    let spans = names_with_ph("X");
+    let instants = names_with_ph("i");
+    if spans.is_empty() {
+        return fail(format!("{path}: no complete (ph=X) span events"));
+    }
+
+    let mut want_events = false;
+    for name in rest {
+        if name == "--events" {
+            want_events = true;
+            continue;
+        }
+        let (pool, kind) =
+            if want_events { (&instants, "instant event") } else { (&spans, "span") };
+        if !pool.contains(&name.as_str()) {
+            return fail(format!("{path}: required {kind} {name:?} not found"));
+        }
+    }
+    println!(
+        "trace_check: OK: {path}: {} events ({} spans, {} instants)",
+        events.len(),
+        spans.len(),
+        instants.len()
+    );
+    ExitCode::SUCCESS
+}

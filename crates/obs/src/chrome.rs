@@ -1,0 +1,172 @@
+//! chrome://tracing "JSON Object Format" export.
+//!
+//! One complete (`ph: "X"`) event per span, one instant (`ph: "i"`) per
+//! point event, plus `process_name` metadata so Perfetto labels the root
+//! and each node. Timestamps are microseconds; span times below 1 µs are
+//! kept (fractional µs are legal in the format).
+
+use crate::{ArgValue, TraceData, Track};
+
+/// Escape a string for a JSON string literal (no surrounding quotes).
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format an f64 so serde-less JSON stays valid (no NaN/inf literals).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn push_args(args: &[(&'static str, ArgValue)], out: &mut String) {
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape(k, out);
+        out.push_str("\":");
+        match v {
+            ArgValue::U64(u) => out.push_str(&u.to_string()),
+            ArgValue::F64(f) => out.push_str(&num(*f)),
+            ArgValue::Str(s) => {
+                out.push('"');
+                escape(s, out);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn push_common(name: &str, cat: &str, track: Track, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    escape(name, out);
+    out.push_str("\",\"cat\":\"");
+    escape(cat, out);
+    out.push_str("\",\"pid\":");
+    out.push_str(&track.pid().to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&track.tid().to_string());
+}
+
+/// Serialize a [`TraceData`] to a chrome://tracing JSON document.
+pub fn to_chrome_json(data: &TraceData) -> String {
+    // Collect the processes in play so each gets a name row.
+    let mut pids: Vec<(u64, String)> = Vec::new();
+    let mut note = |track: Track| {
+        let pid = track.pid();
+        if !pids.iter().any(|(p, _)| *p == pid) {
+            let label = if pid == 0 { "root".to_string() } else { format!("node {}", pid - 1) };
+            pids.push((pid, label));
+        }
+    };
+    for s in &data.spans {
+        note(s.track);
+    }
+    for e in &data.events {
+        note(e.track);
+    }
+    pids.sort_by_key(|(p, _)| *p);
+
+    let mut out = String::with_capacity(128 * (data.spans.len() + data.events.len()) + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for (pid, label) in &pids {
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{label}\"}}}}"
+        ));
+    }
+    for s in &data.spans {
+        sep(&mut out);
+        push_common(&s.name, s.cat, s.track, &mut out);
+        out.push_str(",\"ph\":\"X\",\"ts\":");
+        out.push_str(&num(s.t0 * 1e6));
+        out.push_str(",\"dur\":");
+        out.push_str(&num(s.duration() * 1e6));
+        push_args(&s.args, &mut out);
+        out.push('}');
+    }
+    for e in &data.events {
+        sep(&mut out);
+        push_common(&e.name, e.cat, e.track, &mut out);
+        out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+        out.push_str(&num(e.t * 1e6));
+        push_args(&e.args, &mut out);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{TraceHandle, Track};
+
+    #[test]
+    fn exported_json_parses_and_carries_every_record() {
+        let h = TraceHandle::recording();
+        h.span("skeleton:sum", "skeleton", Track::Root, 0.0, 1.5e-3, vec![]);
+        h.span(
+            "chunk",
+            "compute",
+            Track::Worker { rank: 0, worker: 1 },
+            1e-4,
+            9e-4,
+            vec![("chunk", 3u64.into()), ("note", "a\"b\\c".into())],
+        );
+        h.event("retry", "fault", Track::Node(2), 5e-4, vec![]);
+        let json = h.take().to_chrome_json();
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+        // 3 process_name rows (pids 0, 1, 3) + 2 spans + 1 instant.
+        assert_eq!(events.len(), 6);
+        let names: Vec<&str> =
+            events.iter().filter_map(|e| e.get("name").and_then(|n| n.as_str())).collect();
+        assert!(names.contains(&"skeleton:sum"));
+        assert!(names.contains(&"retry"));
+        assert!(names.contains(&"a\"b\\c") || json.contains("a\\\"b\\\\c"));
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("chunk"))
+            .unwrap();
+        assert_eq!(span.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(span.get("pid").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(span.get("tid").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(
+            span.get("args").and_then(|a| a.get("chunk")).and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        let json = TraceHandle::recording().take().to_chrome_json();
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        assert_eq!(doc.get("traceEvents").and_then(|v| v.as_array()).map(Vec::len), Some(0));
+    }
+}

@@ -39,5 +39,5 @@ mod pool;
 pub mod vtime;
 
 pub use parallel::{map_reduce_part, parallel_for_part};
-pub use pool::{Scope, ThreadPool};
+pub use pool::{current_worker_index, Scope, ThreadPool};
 pub use vtime::{greedy_schedule, Schedule};

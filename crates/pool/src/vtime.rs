@@ -16,6 +16,9 @@ pub struct Schedule {
     pub makespan: f64,
     /// Worker index each task was assigned to, in submission order.
     pub assignment: Vec<usize>,
+    /// Modeled start time of each task (seconds), in submission order.
+    /// Tracing uses these to place per-chunk spans on worker timelines.
+    pub start_times: Vec<f64>,
     /// Total busy time per worker (seconds).
     pub worker_loads: Vec<f64>,
 }
@@ -47,6 +50,7 @@ pub fn greedy_schedule(durations: &[f64], workers: usize) -> Schedule {
     let workers = workers.max(1);
     let mut free_at = vec![0.0f64; workers];
     let mut assignment = Vec::with_capacity(durations.len());
+    let mut start_times = Vec::with_capacity(durations.len());
     for &d in durations {
         // Find the earliest-free worker (linear scan: worker counts are
         // small and this runs outside any hot loop).
@@ -55,6 +59,7 @@ pub fn greedy_schedule(durations: &[f64], workers: usize) -> Schedule {
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("durations are finite"))
             .expect("workers >= 1");
+        start_times.push(free_at[best]);
         free_at[best] += d.max(0.0);
         assignment.push(best);
     }
@@ -63,7 +68,7 @@ pub fn greedy_schedule(durations: &[f64], workers: usize) -> Schedule {
     for (task, &w) in assignment.iter().enumerate() {
         worker_loads[w] += durations[task].max(0.0);
     }
-    Schedule { makespan, assignment, worker_loads }
+    Schedule { makespan, assignment, start_times, worker_loads }
 }
 
 /// Group task indices by assigned worker, preserving submission order within
@@ -142,6 +147,16 @@ mod tests {
         let mut all: Vec<usize> = groups.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn start_times_follow_worker_availability() {
+        let s = greedy_schedule(&[1.0, 1.0, 1.0, 1.0], 2);
+        // Two workers: tasks 0/1 start at 0, tasks 2/3 when a worker frees.
+        assert_eq!(s.start_times, vec![0.0, 0.0, 1.0, 1.0]);
+        for (task, &w) in s.assignment.iter().enumerate() {
+            assert!(s.start_times[task] <= s.worker_loads[w] + 1e-12);
+        }
     }
 
     #[test]

@@ -60,10 +60,11 @@ fn main() {
 
     // randomSetsCorrelation: par over datasets, each computing its own
     // triangular self-correlation, histograms merged up the tree.
-    let (hist, stats) = rt.fold_reduce(
+    let run = rt.fold_reduce(
         from_vec(sets).par(),
+        &(),
         move || CountHist::new(bins),
-        move |mut h: CountHist, set: Vec<Point>| {
+        move |(), mut h: CountHist, set: Vec<Point>| {
             h.merge(self_correlation(bins, &set));
             h
         },
@@ -72,6 +73,7 @@ fn main() {
             a
         },
     );
+    let (hist, stats) = (run.value, run.stats);
 
     let total: u64 = hist.bins().iter().sum();
     let expect = (n_sets * n * (n - 1) / 2) as u64;

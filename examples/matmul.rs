@@ -25,16 +25,19 @@ fn main() {
     // Transpose B over shared memory (localpar): too little work per byte
     // to ship anywhere.
     let b_shared = b.to_shared();
-    let (bt, _) = rt.build_array2(
-        range2d(n, n).map(move |(j, i): (usize, usize)| b_shared[i * n + j]).localpar(),
-    );
+    let bt = rt
+        .build_array2(
+            range2d(n, n).map(move |(j, i): (usize, usize)| b_shared[i * n + j]).localpar(),
+        )
+        .value;
 
     // The two-liner: each output block's node receives only the A rows and
     // B^T rows covering the block.
     let zipped_ab = outerproduct(rows(&a), rows(&bt)).par();
-    let (c, stats) = rt.build_array2(zipped_ab.map(|(u, v): (RowRef<f64>, RowRef<f64>)| {
+    let run = rt.build_array2(zipped_ab.map(|(u, v): (RowRef<f64>, RowRef<f64>)| {
         u.as_slice().iter().zip(v.as_slice()).map(|(x, y)| x * y).sum::<f64>()
     }));
+    let (c, stats) = (run.value, run.stats);
 
     // Verify one entry against a naive computation.
     let check: f64 = (0..n).map(|k| a[(7, k)] * b[(k, 11)]).sum();

@@ -28,7 +28,7 @@ fn main() {
 
     // [sum(ftcoeff(k, r) for k in ks) for r in par(zip3(x, y, z))]
     let pixels = zip3(from_vec(x), from_vec(y), from_vec(z)).par();
-    let (q, stats) = rt.build_vec_env(
+    let run = rt.build_vec_env(
         pixels,
         &samples,
         |samples: &Vec<(f32, f32, f32, f32)>, (x, y, z): (f32, f32, f32)| {
@@ -42,6 +42,7 @@ fn main() {
             (qr, qi)
         },
     );
+    let (q, stats) = (run.value, run.stats);
 
     let energy: f64 = q.iter().map(|&(r, i)| (r as f64).powi(2) + (i as f64).powi(2)).sum();
     println!("pixels       : {}", q.len());

@@ -59,7 +59,8 @@ fn main() {
             (cell, q as f64 * (1.0 / r) * t * t)
         });
 
-    let (grid, stats) = rt.scatter_add(dom.count(), contributions);
+    let run = rt.scatter_add(dom.count(), contributions);
+    let (grid, stats) = (run.value, run.stats);
 
     let nonzero = grid.iter().filter(|v| v.abs() > 1e-12).count();
     let peak = grid.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));

@@ -14,8 +14,9 @@ fn main() {
     // def dot(xs, ys): return sum(x*y for (x, y) in par(zip(xs, ys)))
     let xs: Vec<f64> = (0..100_000).map(|i| (i % 100) as f64 * 0.01).collect();
     let ys: Vec<f64> = (0..100_000).map(|i| (i % 17) as f64 * 0.1).collect();
-    let (dot, stats) = rt
+    let run = rt
         .sum(zip(from_vec(xs.clone()), from_vec(ys.clone())).map(|(x, y): (f64, f64)| x * y).par());
+    let (dot, stats) = (run.value, run.stats);
     let expect: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
     println!("dot       = {dot:.3} (expected {expect:.3})");
     println!(
@@ -29,19 +30,21 @@ fn main() {
     // ---- Irregular loops stay parallel ---------------------------------
     // count of filter: the outer loop still partitions across nodes even
     // though each element yields 0 or 1 outputs.
-    let (positives, _) =
-        rt.count(from_vec(xs.clone()).map(|x: f64| x - 0.3).filter(|v: &f64| *v > 0.0).par());
+    let positives =
+        rt.count(from_vec(xs.clone()).map(|x: f64| x - 0.3).filter(|v: &f64| *v > 0.0).par()).value;
     println!("positives = {positives}");
 
     // ---- Histogramming --------------------------------------------------
     // A distributed histogram: private per thread, merged per node, summed
     // at the root.
-    let (hist, _) = rt.histogram(10, from_vec(ys).map(|y: f64| ((y * 6.25) as usize).min(9)).par());
+    let hist =
+        rt.histogram(10, from_vec(ys).map(|y: f64| ((y * 6.25) as usize).min(9)).par()).value;
     println!("histogram = {hist:?}");
     assert_eq!(hist.iter().sum::<u64>(), 100_000);
 
     // ---- localpar: shared-memory only ----------------------------------
-    let (sum_local, local_stats) = rt.sum(from_vec(xs).map(|x: f64| x * 2.0).localpar());
+    let local = rt.sum(from_vec(xs).map(|x: f64| x * 2.0).localpar());
+    let (sum_local, local_stats) = (local.value, local.stats);
     println!("localpar sum = {sum_local:.3} (0 bytes shipped: {})", local_stats.bytes_out);
     assert_eq!(local_stats.bytes_out, 0);
 

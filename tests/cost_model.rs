@@ -23,7 +23,7 @@ fn more_cores_never_model_slower_compute() {
     for (nodes, tpn) in [(1, 1), (1, 4), (2, 4), (4, 4), (8, 16)] {
         let cfg = ClusterConfig::virtual_cluster(nodes, tpn).with_cost(CostModel::free());
         let rt = Triolet::new(cfg);
-        let (_, stats) = rt.sum(from_vec(xs.clone()).map(busy_value).par());
+        let stats = rt.sum(from_vec(xs.clone()).map(busy_value).par()).stats;
         let span = stats.compute_span_s();
         assert!(
             span <= prev * 1.35,
@@ -39,7 +39,7 @@ fn comm_time_scales_with_payload() {
     let rt = |n: usize| {
         Triolet::new(ClusterConfig::virtual_cluster(2, 1).with_cost(slow_net))
             .sum(from_vec(vec![1u8; n]).map(|x: u8| x as u64).par())
-            .1
+            .stats
             .comm_s
     };
     let small = rt(10_000);
@@ -54,7 +54,7 @@ fn slicing_beats_full_copy_traffic() {
     // The gap is the paper's §3.5 argument in byte counts.
     let data: Vec<f32> = (0..100_000).map(|i| i as f32).collect();
     let rt = Triolet::new(ClusterConfig::virtual_cluster(8, 2));
-    let (_, t_stats) = rt.sum(from_vec(data.clone()).map(|x: f32| x as f64).par());
+    let t_stats = rt.sum(from_vec(data.clone()).map(|x: f32| x as f64).par()).stats;
 
     let eden = EdenRt::new(8, 2).with_msg_limit(usize::MAX);
     let n = data.len();
@@ -86,7 +86,7 @@ fn sgemm_block_traffic_grows_sublinearly_in_nodes() {
     let input = sgemm::generate(64, 8);
     let bytes = |nodes: usize| {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, 1));
-        sgemm::run_triolet(&rt, &input).1.bytes_out as f64
+        sgemm::run_triolet(&rt, &input).stats.bytes_out as f64
     };
     let b4 = bytes(4);
     let b16 = bytes(16);
@@ -99,7 +99,7 @@ fn virtual_total_includes_comm_and_compute() {
     let net = CostModel { latency_s: 1e-3, bandwidth_bps: 1e9 };
     let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2).with_cost(net));
     let xs: Vec<u64> = (0..500).collect();
-    let (_, stats) = rt.sum(from_vec(xs).map(busy_value).par());
+    let stats = rt.sum(from_vec(xs).map(busy_value).par()).stats;
     // comm_s is an aggregate over all links; the critical path includes the
     // root's serialized send chain (4 messages) plus one result return.
     assert!(stats.total_s >= stats.compute_span_s());
@@ -113,7 +113,7 @@ fn measured_mode_wall_clock_is_plausible() {
     let rt = Triolet::new(ClusterConfig::measured(2, 1));
     let t0 = Instant::now();
     let xs: Vec<u64> = (0..200).collect();
-    let (_, stats) = rt.sum(from_vec(xs).map(busy_value).par());
+    let stats = rt.sum(from_vec(xs).map(busy_value).par()).stats;
     let wall = t0.elapsed().as_secs_f64();
     assert!(stats.total_s <= wall * 1.5 + 0.01);
     assert!(stats.total_s > 0.0);

@@ -16,8 +16,8 @@ fn mriq_equivalent_across_shapes_and_models() {
     let expect = mriq::run_seq(&input);
     for &(nodes, tpn) in SHAPES {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
-        let (got, _) = mriq::run_triolet(&rt, &input);
-        assert!(mriq::validate(&expect, &got, 1e-4), "triolet {nodes}x{tpn}");
+        let got = mriq::run_triolet(&rt, &input);
+        assert!(mriq::validate(&expect, &got.value, 1e-4), "triolet {nodes}x{tpn}");
 
         let ll = LowLevelRt::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let (got, _) = mriq::run_lowlevel(&ll, &input);
@@ -35,8 +35,8 @@ fn sgemm_equivalent_across_shapes_and_models() {
     let expect = sgemm::run_seq(&input);
     for &(nodes, tpn) in SHAPES {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
-        let (got, _) = sgemm::run_triolet(&rt, &input);
-        assert!(sgemm::validate(&expect, &got, 1e-4), "triolet {nodes}x{tpn}");
+        let got = sgemm::run_triolet(&rt, &input);
+        assert!(sgemm::validate(&expect, &got.value, 1e-4), "triolet {nodes}x{tpn}");
 
         let ll = LowLevelRt::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let (got, _) = sgemm::run_lowlevel(&ll, &input);
@@ -54,8 +54,8 @@ fn tpacf_equivalent_across_shapes_and_models() {
     let expect = tpacf::run_seq(&input);
     for &(nodes, tpn) in SHAPES {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
-        let (got, _) = tpacf::run_triolet(&rt, &input);
-        assert!(tpacf::validate(&expect, &got), "triolet {nodes}x{tpn}");
+        let got = tpacf::run_triolet(&rt, &input);
+        assert!(tpacf::validate(&expect, &got.value), "triolet {nodes}x{tpn}");
 
         let ll = LowLevelRt::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let (got, _) = tpacf::run_lowlevel(&ll, &input);
@@ -73,8 +73,8 @@ fn cutcp_equivalent_across_shapes_and_models() {
     let expect = cutcp::run_seq(&input);
     for &(nodes, tpn) in SHAPES {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
-        let (got, _) = cutcp::run_triolet(&rt, &input);
-        assert!(cutcp::validate(&expect, &got, 1e-9), "triolet {nodes}x{tpn}");
+        let got = cutcp::run_triolet(&rt, &input);
+        assert!(cutcp::validate(&expect, &got.value, 1e-9), "triolet {nodes}x{tpn}");
 
         let ll = LowLevelRt::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let (got, _) = cutcp::run_lowlevel(&ll, &input);
@@ -92,14 +92,14 @@ fn measured_mode_equivalence_small_shapes() {
     let mriq_in = mriq::generate(48, 24, 4);
     let expect = mriq::run_seq(&mriq_in);
     let rt = Triolet::new(ClusterConfig::measured(2, 2));
-    let (got, _) = mriq::run_triolet(&rt, &mriq_in);
-    assert!(mriq::validate(&expect, &got, 1e-4));
+    let got = mriq::run_triolet(&rt, &mriq_in);
+    assert!(mriq::validate(&expect, &got.value, 1e-4));
 
     let tpacf_in = tpacf::generate(32, 3, 12, 5);
     let expect = tpacf::run_seq(&tpacf_in);
     let rt = Triolet::new(ClusterConfig::measured(2, 2));
-    let (got, _) = tpacf::run_triolet(&rt, &tpacf_in);
-    assert!(tpacf::validate(&expect, &got));
+    let got = tpacf::run_triolet(&rt, &tpacf_in);
+    assert!(tpacf::validate(&expect, &got.value));
 }
 
 #[test]
@@ -108,7 +108,7 @@ fn traffic_accounting_is_consistent() {
     let input = mriq::generate(64, 32, 9);
     let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2));
     let before = rt.cluster().stats().bytes();
-    let (_, stats) = mriq::run_triolet(&rt, &input);
+    let stats = mriq::run_triolet(&rt, &input).stats;
     let after = rt.cluster().stats().bytes();
     assert_eq!(after - before, stats.bytes_out + stats.bytes_back);
 }

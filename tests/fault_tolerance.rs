@@ -50,19 +50,29 @@ fn assert_recovered(stats: &RunStats) {
 #[test]
 fn fold_reduce_is_exact_under_faults() {
     let xs: Vec<i64> = (0..4096).map(|i| (i * 37) % 1001 - 500).collect();
-    let (clean, clean_stats) =
-        clean_rt().fold_reduce(from_vec(xs.clone()).par(), || 0i64, |acc, x| acc + x, |a, b| a + b);
-    let (faulty, faulty_stats) =
-        faulty_rt().fold_reduce(from_vec(xs).par(), || 0i64, |acc, x| acc + x, |a, b| a + b);
-    assert_eq!(clean, faulty, "fold_reduce result changed under faults");
-    assert_eq!(clean_stats.retries, 0);
-    assert_eq!(clean_stats.redispatches, 0);
-    assert_recovered(&faulty_stats);
+    let clean = clean_rt().fold_reduce(
+        from_vec(xs.clone()).par(),
+        &(),
+        || 0i64,
+        |(), acc, x| acc + x,
+        |a, b| a + b,
+    );
+    let faulty = faulty_rt().fold_reduce(
+        from_vec(xs).par(),
+        &(),
+        || 0i64,
+        |(), acc, x| acc + x,
+        |a, b| a + b,
+    );
+    assert_eq!(clean.value, faulty.value, "fold_reduce result changed under faults");
+    assert_eq!(clean.stats.retries, 0);
+    assert_eq!(clean.stats.redispatches, 0);
+    assert_recovered(&faulty.stats);
     assert!(
-        faulty_stats.messages > clean_stats.messages,
+        faulty.stats.messages > clean.stats.messages,
         "lost and retransmitted attempts must show up in the message count"
     );
-    assert!(faulty_stats.comm_s > clean_stats.comm_s, "faults must cost modeled time");
+    assert!(faulty.stats.comm_s > clean.stats.comm_s, "faults must cost modeled time");
 }
 
 #[test]
@@ -71,23 +81,23 @@ fn collect_is_bit_identical_under_faults() {
     // holds because recovery changes *where* tasks run, never the order
     // partials merge in.
     let xs: Vec<(usize, f64)> = (0..3000).map(|i| (i % 97, (i as f64) * 0.125 + 0.3)).collect();
-    let run = |rt: &Triolet| rt.collect(from_vec(xs.clone()).par(), || WeightHist::new(97));
-    let (clean, _) = run(&clean_rt());
-    let (faulty, stats) = run(&faulty_rt());
-    let clean_bits: Vec<u64> = clean.iter().map(|w| w.to_bits()).collect();
-    let faulty_bits: Vec<u64> = faulty.iter().map(|w| w.to_bits()).collect();
+    let run = |rt: &Triolet| rt.collect(from_vec(xs.clone()).par(), &(), || WeightHist::new(97));
+    let clean = run(&clean_rt());
+    let faulty = run(&faulty_rt());
+    let clean_bits: Vec<u64> = clean.value.iter().map(|w| w.to_bits()).collect();
+    let faulty_bits: Vec<u64> = faulty.value.iter().map(|w| w.to_bits()).collect();
     assert_eq!(clean_bits, faulty_bits, "collect must be bit-identical under faults");
-    assert_recovered(&stats);
+    assert_recovered(&faulty.stats);
 }
 
 #[test]
 fn histogram_is_exact_under_faults() {
     let xs: Vec<usize> = (0..5000).map(|i| (i * i + 13) % 64).collect();
-    let (clean, _) = clean_rt().histogram(64, from_vec(xs.clone()).par());
-    let (faulty, stats) = faulty_rt().histogram(64, from_vec(xs).par());
-    assert_eq!(clean, faulty, "histogram counts changed under faults");
-    assert_eq!(clean.iter().sum::<u64>(), 5000);
-    assert_recovered(&stats);
+    let clean = clean_rt().histogram(64, from_vec(xs.clone()).par());
+    let faulty = faulty_rt().histogram(64, from_vec(xs).par());
+    assert_eq!(clean.value, faulty.value, "histogram counts changed under faults");
+    assert_eq!(clean.value.iter().sum::<u64>(), 5000);
+    assert_recovered(&faulty.stats);
 }
 
 #[test]
@@ -95,10 +105,10 @@ fn build_vec_preserves_order_under_faults() {
     // Order preservation is the hard case: a redispatched fragment is
     // computed on the "wrong" rank but must still land in its own slot.
     let xs: Vec<u32> = (0..2048).map(|i| (i * 2654435761u64 % 100_000) as u32).collect();
-    let (clean, _) = clean_rt().build_vec(from_vec(xs.clone()).map(|x: u32| x as u64 * 3).par());
-    let (faulty, stats) = faulty_rt().build_vec(from_vec(xs).map(|x: u32| x as u64 * 3).par());
-    assert_eq!(clean, faulty, "build_vec order or contents changed under faults");
-    assert_recovered(&stats);
+    let clean = clean_rt().build_vec(from_vec(xs.clone()).map(|x: u32| x as u64 * 3).par());
+    let faulty = faulty_rt().build_vec(from_vec(xs).map(|x: u32| x as u64 * 3).par());
+    assert_eq!(clean.value, faulty.value, "build_vec order or contents changed under faults");
+    assert_recovered(&faulty.stats);
 }
 
 #[test]
@@ -106,14 +116,20 @@ fn fault_runs_replay_identically() {
     // Same seed => identical results AND identical recovery accounting.
     let xs: Vec<i64> = (0..1000).collect();
     let run = || {
-        faulty_rt().fold_reduce(from_vec(xs.clone()).par(), || 0i64, |acc, x| acc + x, |a, b| a + b)
+        faulty_rt().fold_reduce(
+            from_vec(xs.clone()).par(),
+            &(),
+            || 0i64,
+            |(), acc, x| acc + x,
+            |a, b| a + b,
+        )
     };
-    let (r1, s1) = run();
-    let (r2, s2) = run();
-    assert_eq!(r1, r2);
-    assert_eq!(s1.retries, s2.retries, "the fault schedule must replay exactly");
-    assert_eq!(s1.redispatches, s2.redispatches);
-    assert_eq!(s1.messages, s2.messages);
+    let r1 = run();
+    let r2 = run();
+    assert_eq!(r1.value, r2.value);
+    assert_eq!(r1.stats.retries, r2.stats.retries, "the fault schedule must replay exactly");
+    assert_eq!(r1.stats.redispatches, r2.stats.redispatches);
+    assert_eq!(r1.stats.messages, r2.stats.messages);
 }
 
 #[test]
@@ -121,23 +137,29 @@ fn measured_mode_recovers_too() {
     // Real threads, same schedule: results still exact, recovery visible.
     let xs: Vec<i64> = (0..2000).map(|i| i % 17 - 8).collect();
     let cfg = ClusterConfig::measured(NODES, TPN).with_faults(gate_plan());
-    let (clean, _) = Triolet::new(ClusterConfig::measured(NODES, TPN)).fold_reduce(
+    let clean = Triolet::new(ClusterConfig::measured(NODES, TPN)).fold_reduce(
         from_vec(xs.clone()).par(),
+        &(),
         || 0i64,
-        |acc, x| acc + x,
+        |(), acc, x| acc + x,
         |a, b| a + b,
     );
-    let (faulty, stats) =
-        Triolet::new(cfg).fold_reduce(from_vec(xs).par(), || 0i64, |acc, x| acc + x, |a, b| a + b);
-    assert_eq!(clean, faulty);
-    assert_recovered(&stats);
+    let faulty = Triolet::new(cfg).fold_reduce(
+        from_vec(xs).par(),
+        &(),
+        || 0i64,
+        |(), acc, x| acc + x,
+        |a, b| a + b,
+    );
+    assert_eq!(clean.value, faulty.value);
+    assert_recovered(&faulty.stats);
 }
 
 #[test]
 fn traffic_counters_expose_fault_events() {
     let rt = faulty_rt();
     let xs: Vec<usize> = (0..4000).map(|i| i % 32).collect();
-    let (_, stats) = rt.histogram(32, from_vec(xs).par());
+    let stats = rt.histogram(32, from_vec(xs).par()).stats;
     let traffic = rt.cluster().stats();
     assert!(traffic.dropped() > 0, "the schedule must actually drop attempts");
     assert_eq!(traffic.retries(), stats.retries, "RunStats and TrafficStats must agree");

@@ -27,10 +27,10 @@ fn map_filter_map_chain_equals_naive() {
         .collect_vec();
     assert_eq!(fused, naive);
     // Fused pipeline, distributed materialization.
-    let (dist, _) = rt(4, 2).build_vec(
+    let dist = rt(4, 2).build_vec(
         from_vec(xs).map(|x: i64| x * 3).filter(|v: &i64| v % 2 == 0).map(|v: i64| v + 1).par(),
     );
-    assert_eq!(dist, naive);
+    assert_eq!(dist.value, naive);
 }
 
 #[test]
@@ -42,8 +42,8 @@ fn concat_map_filter_sum_distributes() {
         .concat_map(|x: i64| StepFlat::new((0..x % 7).map(move |y| x * y)))
         .filter(|v: &i64| v % 3 == 0)
         .par();
-    let (dist, _) = rt(3, 4).sum(it);
-    assert_eq!(dist, naive);
+    let dist = rt(3, 4).sum(it);
+    assert_eq!(dist.value, naive);
 }
 
 #[test]
@@ -64,8 +64,8 @@ fn zip_of_mapped_arrays_fuses_and_distributes() {
     let ys: Vec<f64> = (0..1000).map(|i| (i * 3 % 11) as f64).collect();
     let naive: f64 = xs.iter().zip(&ys).map(|(x, y)| (x + 1.0) * y).sum();
     let it = zip(from_vec(xs), from_vec(ys)).map(|(x, y): (f64, f64)| (x + 1.0) * y).par();
-    let (dist, _) = rt(4, 4).sum(it);
-    assert!((dist - naive).abs() < 1e-9 * naive.abs());
+    let dist = rt(4, 4).sum(it);
+    assert!((dist.value - naive).abs() < 1e-9 * naive.abs());
 }
 
 #[test]
@@ -106,9 +106,9 @@ fn shared_captured_state_is_safe_across_nodes() {
     let weights = Arc::new((0..64usize).map(|i| i as f64 * 0.5).collect::<Vec<f64>>());
     let w = Arc::clone(&weights);
     let it = range(64).map(move |i: usize| w[i] * 2.0).par();
-    let (total, _) = rt(4, 2).sum(it);
+    let total = rt(4, 2).sum(it);
     let expect: f64 = weights.iter().map(|x| x * 2.0).sum();
-    assert!((total - expect).abs() < 1e-9);
+    assert!((total.value - expect).abs() < 1e-9);
 }
 
 #[test]
@@ -118,8 +118,8 @@ fn collectors_compose_with_engine_and_sequential_paths() {
     let mut seq_hist = triolet::CountHist::new(97);
     from_vec(xs.clone()).map(|x: u32| x as usize).collect_into(&mut seq_hist);
     // Distributed histogram.
-    let (dist, _) = rt(8, 4).histogram(97, from_vec(xs).map(|x: u32| x as usize).par());
-    assert_eq!(seq_hist.finish(), dist);
+    let dist = rt(8, 4).histogram(97, from_vec(xs).map(|x: u32| x as usize).par());
+    assert_eq!(seq_hist.finish(), dist.value);
 }
 
 #[test]
@@ -129,9 +129,9 @@ fn hints_are_independent_of_results_for_every_consumer() {
     let make = || from_vec(xs.clone()).map(|x: i64| x * x).filter(|v: &i64| *v > 100);
     let seq_sum: i64 = make().sum_scalar();
     for hint in [ParHint::Sequential, ParHint::LocalPar, ParHint::Par] {
-        let (s, _) = engine.sum(make().with_hint(hint));
-        assert_eq!(s, seq_sum, "hint {hint:?}");
-        let (c, _) = engine.count(make().with_hint(hint));
-        assert_eq!(c, make().count_items() as u64, "hint {hint:?}");
+        let s = engine.sum(make().with_hint(hint));
+        assert_eq!(s.value, seq_sum, "hint {hint:?}");
+        let c = engine.count(make().with_hint(hint));
+        assert_eq!(c.value, make().count_items() as u64, "hint {hint:?}");
     }
 }

@@ -20,8 +20,8 @@ proptest! {
     ) {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let expect: i64 = xs.iter().sum();
-        let (got, _) = rt.sum(from_vec(xs).par());
-        prop_assert_eq!(got, expect);
+        let got = rt.sum(from_vec(xs).par());
+        prop_assert_eq!(got.value, expect);
     }
 
     #[test]
@@ -32,10 +32,10 @@ proptest! {
     ) {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let expect = xs.iter().filter(|&&x| x.rem_euclid(modulus) == 0).count() as u64;
-        let (got, _) = rt.count(
+        let got = rt.count(
             from_vec(xs).filter(move |x: &i32| x.rem_euclid(modulus) == 0).par(),
         );
-        prop_assert_eq!(got, expect);
+        prop_assert_eq!(got.value, expect);
     }
 
     #[test]
@@ -48,8 +48,8 @@ proptest! {
         for &x in &xs {
             expect[x] += 1;
         }
-        let (got, _) = rt.histogram(50, from_vec(xs).par());
-        prop_assert_eq!(got, expect);
+        let got = rt.histogram(50, from_vec(xs).par());
+        prop_assert_eq!(got.value, expect);
     }
 
     #[test]
@@ -59,8 +59,8 @@ proptest! {
     ) {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let expect: Vec<u64> = xs.iter().map(|&x| x as u64 + 7).collect();
-        let (got, _) = rt.build_vec(from_vec(xs).map(|x: u32| x as u64 + 7).par());
-        prop_assert_eq!(got, expect);
+        let got = rt.build_vec(from_vec(xs).map(|x: u32| x as u64 + 7).par());
+        prop_assert_eq!(got.value, expect);
     }
 
     #[test]
@@ -73,8 +73,8 @@ proptest! {
         let it = from_vec(xs)
             .concat_map(|x: i64| triolet::StepFlat::new(0..x))
             .par();
-        let (got, _) = rt.sum(it);
-        prop_assert_eq!(got, expect);
+        let got = rt.sum(it);
+        prop_assert_eq!(got.value, expect);
     }
 
     #[test]
@@ -84,8 +84,8 @@ proptest! {
     ) {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let expect = xs.iter().copied().min();
-        let (got, _) = rt.reduce(from_vec(xs).par(), i64::min);
-        prop_assert_eq!(got, expect);
+        let got = rt.reduce(from_vec(xs).par(), i64::min);
+        prop_assert_eq!(got.value, expect);
     }
 
     #[test]
@@ -95,11 +95,11 @@ proptest! {
         (nodes, tpn) in cluster_shapes(),
     ) {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
-        let (got, _) = rt.build_array2(
+        let got = rt.build_array2(
             range2d(rows, cols).map(|(r, c): (usize, usize)| (r * 31 + c) as i64).par(),
         );
         let expect = triolet::Array2::from_fn(rows, cols, |r, c| (r * 31 + c) as i64);
-        prop_assert_eq!(got, expect);
+        prop_assert_eq!(got.value, expect);
     }
 
     #[test]
@@ -114,8 +114,8 @@ proptest! {
         for &(b, w) in &items {
             expect[b] += w;
         }
-        let (got, _) = rt.scatter_add(64, from_vec(items).par());
-        for (g, e) in got.iter().zip(&expect) {
+        let got = rt.scatter_add(64, from_vec(items).par());
+        for (g, e) in got.value.iter().zip(&expect) {
             prop_assert!((g - e).abs() < 1e-9);
         }
     }
