@@ -98,10 +98,13 @@ pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> Run<TpacfOutput> {
     );
 
     // --- DR: each random set against the observed set (broadcast env) ----
+    // The observed set is packed to wire bytes exactly once here; the
+    // skeleton reuses the shared buffer for every node and retransmission.
+    let obs_env = rt.pack_env(input.obs.clone());
     let dr_edges = Arc::clone(&edges);
-    let dr = rt.fold_reduce(
+    let dr = rt.fold_reduce_packed(
         from_vec(input.rands.clone()).par(),
-        &input.obs,
+        &obs_env,
         move || CountHist::new(bins),
         move |obs: &Vec<Point>, mut h: CountHist, rand: Vec<Point>| {
             h.merge(corr1_cross(&dr_edges, obs, &rand, bins));

@@ -11,13 +11,14 @@
 
 use std::time::Instant;
 
-use triolet_obs::{TraceData, TraceHandle, Track};
+use triolet_obs::{tree_edge_args, TraceData, TraceHandle, Track};
 use triolet_pool::ThreadPool;
 use triolet_serial::{packed, unpack_all, Wire};
 
 use crate::cost::{CostModel, DistTiming, TrafficStats};
 use crate::fault::FaultPlan;
 use crate::node::{ExecMode, NodeCtx};
+use crate::tree;
 
 /// Pseudo-rank of the root in fault-schedule coordinates (the root is not a
 /// cluster rank; any value outside `0..nodes` works, this one is obvious).
@@ -26,10 +27,32 @@ const ROOT: usize = usize::MAX;
 const FWD_TAG: u32 = 0;
 /// Fault-schedule tag for node -> root results.
 const RET_TAG: u32 = 1;
+/// Fault-schedule tag for the broadcast-environment payload.
+const ENV_TAG: u32 = 2;
+/// Attempt cap on environment-broadcast edges. Both endpoints of every edge
+/// are alive by construction (participants are executing ranks), so like the
+/// return path this only trips on a near-1.0 drop rate.
+const ENV_ATTEMPT_CAP: u32 = 10_000;
 /// Attempt cap on the return path. Executing ranks are alive by
 /// construction and the root never gives up on them, so only a plan with a
 /// drop rate of essentially 1.0 can hit this.
 const RETURN_ATTEMPT_CAP: u32 = 10_000;
+
+/// How one-to-all payloads (the broadcast environment) are routed.
+///
+/// `Tree` sends over the contiguous-subtree binomial tree of [`tree`]: the
+/// root transmits `O(log N)` copies and ranks that already hold the payload
+/// relay it concurrently, so the last arrival is `O(log N)` edge times
+/// behind the root instead of `O(N)`. `Linear` is the pre-tree behavior
+/// (root loops over every destination), kept for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Root sends every copy itself, serialized on its one NIC.
+    Linear,
+    /// Binomial-tree relay (the default).
+    #[default]
+    Tree,
+}
 
 /// Cluster shape and cost parameters.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +70,8 @@ pub struct ClusterConfig {
     /// Record a span/event timeline for every dispatch (off by default;
     /// the disabled path is a single branch per record site).
     pub trace: bool,
+    /// Route for one-to-all payloads (tree by default).
+    pub topology: Topology,
 }
 
 impl ClusterConfig {
@@ -59,6 +84,7 @@ impl ClusterConfig {
             cost: CostModel::default(),
             faults: FaultPlan::none(),
             trace: false,
+            topology: Topology::default(),
         }
     }
 
@@ -71,6 +97,7 @@ impl ClusterConfig {
             cost: CostModel::default(),
             faults: FaultPlan::none(),
             trace: false,
+            topology: Topology::default(),
         }
     }
 
@@ -89,6 +116,12 @@ impl ClusterConfig {
     /// Enable or disable timeline recording.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Replace the one-to-all routing topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -251,6 +284,86 @@ fn plan_return(plan: &FaultPlan, exec: usize, i: usize) -> ReturnRoute {
     panic!("fault plan never lets task {i}'s result reach the root");
 }
 
+/// One planned edge of the environment broadcast. Positions index the
+/// participant list (`0` = root, `1..` = executing ranks); the fault
+/// outcomes are decided up front from the schedule, like task routes.
+struct EnvEdge {
+    sender_pos: usize,
+    dest_pos: usize,
+    /// Destination's depth below the root (1 for every linear edge).
+    depth: u32,
+    /// Sender's child count (its serialized send burst).
+    fanout: usize,
+    attempts: u32,
+    dups: u32,
+    drops: u32,
+    corrupts: u32,
+}
+
+impl EnvEdge {
+    fn copies(&self) -> u64 {
+        (self.attempts + self.dups) as u64
+    }
+
+    fn failed(&self) -> u32 {
+        self.attempts - 1
+    }
+}
+
+/// Plan the environment broadcast over `participants` (ranks; index 0 is the
+/// root's pseudo-rank slot). Every edge retries through the fault schedule
+/// until it delivers intact — both endpoints are alive by construction — so
+/// the edge list is a pure function of the plan, ready for both the
+/// mode-independent traffic accounting and virtual-time charging.
+fn plan_env_edges(plan: &FaultPlan, topology: Topology, participants: &[usize]) -> Vec<EnvEdge> {
+    let m = participants.len();
+    let shape: Vec<(usize, usize, u32, usize)> = match topology {
+        Topology::Tree => tree::edges(m)
+            .into_iter()
+            .map(|(s, c)| (s, c, tree::depth(c), tree::children(s, m).len()))
+            .collect(),
+        Topology::Linear => (1..m).map(|c| (0, c, 1, m - 1)).collect(),
+    };
+    shape
+        .into_iter()
+        .map(|(s, c, depth, fanout)| {
+            let sender_rank = if s == 0 { ROOT } else { participants[s] };
+            let dest_rank = participants[c];
+            let mut edge = EnvEdge {
+                sender_pos: s,
+                dest_pos: c,
+                depth,
+                fanout,
+                attempts: 0,
+                dups: 0,
+                drops: 0,
+                corrupts: 0,
+            };
+            if !plan.is_active() {
+                edge.attempts = 1;
+                return edge;
+            }
+            for attempt in 0..ENV_ATTEMPT_CAP {
+                edge.attempts += 1;
+                let d = plan.decide(sender_rank, dest_rank, ENV_TAG, c as u64, attempt);
+                if !d.deliver {
+                    edge.drops += 1;
+                    continue;
+                }
+                if d.duplicate {
+                    edge.dups += 1;
+                }
+                if d.corrupt {
+                    edge.corrupts += 1;
+                    continue;
+                }
+                return edge;
+            }
+            panic!("fault plan never delivers the environment to rank {dest_rank}");
+        })
+        .collect()
+}
+
 /// A simulated cluster of multicore nodes.
 ///
 /// `run` is the core collective: it ships one serialized payload to each
@@ -335,7 +448,7 @@ impl Cluster {
                 }),
             })
             .collect();
-        self.dispatch(tasks, root_pack_s)
+        self.dispatch(tasks, root_pack_s, 0)
     }
 
     /// Run the same (cloned) payload on every node: the broadcast pattern.
@@ -367,14 +480,45 @@ impl Cluster {
             tasks.len(),
             self.config.nodes
         );
-        self.dispatch(tasks, 0.0)
+        self.dispatch(tasks, 0.0, 0)
+    }
+
+    /// Like [`run_raw`](Self::run_raw), but additionally charges one
+    /// `bcast_bytes`-sized shared payload (the packed closure environment)
+    /// broadcast from the root to every *executing* rank over the
+    /// configured [`Topology`] before any slice payload goes out.
+    ///
+    /// The environment is accounted once per broadcast edge — not once per
+    /// task — and in virtual time a task cannot start before its rank
+    /// holds the environment. `bcast_bytes == 0` (the unit environment)
+    /// charges nothing.
+    pub fn run_raw_with_broadcast<'a, R>(
+        &self,
+        tasks: Vec<RawTask<'a, R>>,
+        bcast_bytes: usize,
+    ) -> DistOutcome<R>
+    where
+        R: Wire + Send,
+    {
+        assert!(
+            tasks.len() <= self.config.nodes,
+            "more tasks ({}) than nodes ({})",
+            tasks.len(),
+            self.config.nodes
+        );
+        self.dispatch(tasks, 0.0, bcast_bytes)
     }
 
     /// The one dispatcher behind `run` and `run_raw`: plan every task's
     /// route through the fault schedule, execute each task once on its
     /// final rank, account all traffic (including lost/duplicated attempts
     /// and retransmissions), and gather results in task order.
-    fn dispatch<'a, R>(&self, tasks: Vec<RawTask<'a, R>>, root_prep_s: f64) -> DistOutcome<R>
+    fn dispatch<'a, R>(
+        &self,
+        tasks: Vec<RawTask<'a, R>>,
+        root_prep_s: f64,
+        bcast_bytes: usize,
+    ) -> DistOutcome<R>
     where
         R: Wire + Send,
     {
@@ -424,6 +568,41 @@ impl Cluster {
             redispatches += route.redispatches;
         }
 
+        // Environment broadcast: one shared payload reaches every executing
+        // rank, routed by the configured topology. Planned up front like
+        // task routes, so both modes account identical traffic.
+        let mut participants: Vec<usize> = Vec::new();
+        let env_edges: Vec<EnvEdge> = if bcast_bytes > 0 && n_tasks > 0 {
+            let mut execs: Vec<usize> = routes.iter().map(|r| r.exec).collect();
+            execs.sort_unstable();
+            execs.dedup();
+            participants.push(ROOT);
+            participants.extend(execs);
+            plan_env_edges(&plan, self.config.topology, &participants)
+        } else {
+            Vec::new()
+        };
+        for e in &env_edges {
+            for _ in 0..e.copies() {
+                self.stats.record(bcast_bytes);
+            }
+            messages += e.copies();
+            bytes_out += bcast_bytes as u64 * e.copies();
+            for _ in 0..e.drops {
+                self.stats.record_dropped();
+            }
+            for _ in 0..e.corrupts {
+                self.stats.record_corrupted();
+            }
+            for _ in 0..e.dups {
+                self.stats.record_duplicated();
+            }
+            for _ in 0..e.failed() {
+                self.stats.record_retry();
+            }
+            retries += e.failed() as u64;
+        }
+
         let cost = self.config.cost;
         let timeout_s = plan.timeout.as_secs_f64();
         let tpn = self.config.threads_per_node;
@@ -434,11 +613,59 @@ impl Cluster {
 
         match self.config.mode {
             ExecMode::Virtual => {
+                // The environment goes out first: each sender's NIC
+                // serializes its own edges (largest subtree first), while
+                // ranks that already hold the payload relay concurrently —
+                // this is where the tree's O(log N) last-arrival shows up.
+                let mut clock = root_prep_s;
+                let mut comm_s = 0.0f64;
+                let mut env_arrival = vec![0.0f64; n_nodes];
+                if !env_edges.is_empty() {
+                    let dt = cost.transfer_time(bcast_bytes);
+                    let mut sender_clock = vec![0.0f64; participants.len()];
+                    sender_clock[0] = clock;
+                    for e in &env_edges {
+                        let start = sender_clock[e.sender_pos];
+                        let edge_s = dt * e.copies() as f64 + timeout_s * e.failed() as f64;
+                        let done = start + edge_s;
+                        sender_clock[e.sender_pos] = done;
+                        sender_clock[e.dest_pos] = done;
+                        let dest = participants[e.dest_pos];
+                        env_arrival[dest] = done;
+                        comm_s += edge_s;
+                        if tr.enabled() {
+                            let track = if e.sender_pos == 0 {
+                                Track::Root
+                            } else {
+                                Track::Node(participants[e.sender_pos])
+                            };
+                            let mut args = tree_edge_args(dest, ENV_TAG, e.depth, e.fanout);
+                            args.push(("bytes", bcast_bytes.into()));
+                            args.push(("attempts", (e.attempts as u64).into()));
+                            tr.span("comm:tree", "comm", track, start, done, args);
+                            let fault = |name: &'static str, count: u32| {
+                                for k in 0..count {
+                                    tr.event(
+                                        name,
+                                        "fault",
+                                        track,
+                                        start + dt * (k + 1) as f64,
+                                        vec![("dest", dest.into())],
+                                    );
+                                }
+                            };
+                            fault("retry", e.failed());
+                            fault("drop", e.drops);
+                            fault("corrupt", e.corrupts);
+                            fault("duplicate", e.dups);
+                        }
+                    }
+                    clock = sender_clock[0];
+                }
+
                 // Root sends sequentially (single NIC): task i's payload
                 // lands only after every earlier attempt — including each
                 // failed attempt's ack timeout — has passed.
-                let mut clock = root_prep_s;
-                let mut comm_s = 0.0f64;
                 let mut send_done = Vec::with_capacity(n_tasks);
                 for (i, (t, route)) in tasks.iter().zip(&routes).enumerate() {
                     let dt = cost.transfer_time(t.wire_bytes);
@@ -514,7 +741,7 @@ impl Cluster {
                     let result = (t.work)(&ctx);
                     let rb = ctx.sequential_labeled("pack", "prep", || packed(&result));
                     let elapsed = ctx.elapsed();
-                    let start = send_done[i].max(node_free[exec]);
+                    let start = send_done[i].max(node_free[exec]).max(env_arrival[exec]);
                     let done = start + elapsed;
                     if tr.enabled() {
                         let mut sub = ctx.take_trace();
@@ -620,6 +847,33 @@ impl Cluster {
                 // (instantaneous in-process) land at `root_prep_s` and node
                 // task spans at their measured offsets.
                 if tr.enabled() {
+                    for e in &env_edges {
+                        let track = if e.sender_pos == 0 {
+                            Track::Root
+                        } else {
+                            Track::Node(participants[e.sender_pos])
+                        };
+                        let dest = participants[e.dest_pos];
+                        let mut args = tree_edge_args(dest, ENV_TAG, e.depth, e.fanout);
+                        args.push(("bytes", bcast_bytes.into()));
+                        args.push(("attempts", (e.attempts as u64).into()));
+                        tr.event("comm:tree", "comm", track, root_prep_s, args);
+                        let fault = |name: &'static str, count: u32| {
+                            for _ in 0..count {
+                                tr.event(
+                                    name,
+                                    "fault",
+                                    track,
+                                    root_prep_s,
+                                    vec![("dest", dest.into())],
+                                );
+                            }
+                        };
+                        fault("retry", e.failed());
+                        fault("drop", e.drops);
+                        fault("corrupt", e.corrupts);
+                        fault("duplicate", e.dups);
+                    }
                     for (i, (t, route)) in tasks.iter().zip(&routes).enumerate() {
                         for (h, hop) in route.hops.iter().enumerate() {
                             tr.event(

@@ -30,6 +30,21 @@
 //! subject to injected faults — the model stresses the data plane; a lost
 //! ack is still exercised indirectly whenever a data retransmission races a
 //! late ack.
+//!
+//! # Tree-structured collectives
+//!
+//! `broadcast`, `gather`, `reduce`, and `all_reduce` route over the
+//! contiguous-subtree binomial tree of [`crate::tree`], so the root touches
+//! `O(log N)` messages instead of `O(N)` while relays run concurrently on
+//! ranks that already hold the data. Because the subtree under each child
+//! covers a *contiguous* run of relative ranks, tree gather concatenates and
+//! tree reduce folds in exact rank order — bit-identical to the linear,
+//! root-centric collectives, which remain available as `*_linear` for
+//! comparison (see `benches/ablation_collectives.rs`). Broadcast relays
+//! forward the received bytes verbatim ([`PackedPayload`]): the payload is
+//! packed exactly once at the root no matter how many ranks, attempts, or
+//! retransmissions follow. The seq/ack reliability protocol is untouched —
+//! collectives are compositions of the same reliable point-to-point sends.
 
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -39,11 +54,12 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use triolet_obs::{TraceHandle, Track};
-use triolet_serial::{packed, unpack_all, Wire, WireError};
+use triolet_obs::{tree_edge_args, TraceHandle, Track};
+use triolet_serial::{packed, unpack_all, PackedPayload, Wire, WireError};
 
 use crate::cost::TrafficStats;
 use crate::fault::{payload_checksum, FaultPlan};
+use crate::tree;
 
 /// Tag bit reserved for internal reply traffic (e.g. the broadcast leg of
 /// [`CommHandle::all_reduce`]). User tags must leave it clear; collectives
@@ -64,6 +80,10 @@ pub enum CommError {
     Decode(WireError),
     /// `rank` was declared dead after exhausting the retransmission budget.
     NodeDown { rank: usize },
+    /// A collective was called with arguments that violate its contract
+    /// (missing root value, wrong part count, root out of range). Surfaced
+    /// as an error instead of a panic, matching the Decode policy.
+    Protocol(String),
 }
 
 impl fmt::Display for CommError {
@@ -78,6 +98,7 @@ impl fmt::Display for CommError {
             }
             CommError::Decode(e) => write!(f, "payload failed to decode: {e}"),
             CommError::NodeDown { rank } => write!(f, "rank {rank} is down"),
+            CommError::Protocol(what) => write!(f, "collective protocol violation: {what}"),
         }
     }
 }
@@ -230,11 +251,41 @@ impl CommHandle {
         }
     }
 
+    /// Record a `comm:tree` point event: this rank relaying a collective
+    /// payload one tree edge down (`peer` at `depth`, among `fanout`
+    /// siblings).
+    fn trace_tree(&self, peer: usize, tag: u32, depth: u32, fanout: usize) {
+        if self.trace.enabled() {
+            self.trace.event(
+                "comm:tree",
+                "comm",
+                Track::Node(self.rank),
+                self.epoch.elapsed().as_secs_f64(),
+                tree_edge_args(peer, tag, depth, fanout),
+            );
+        }
+    }
+
     /// Send `value` to `to` under `tag`. With an active fault plan this is
     /// the reliable (ack + retransmit) path and only returns `Ok` once the
     /// destination has acknowledged an intact copy.
     pub fn send<T: Wire>(&self, to: usize, tag: u32, value: &T) -> Result<(), CommError> {
-        let payload = packed(value);
+        self.send_bytes(to, tag, packed(value))
+    }
+
+    /// Send an already-packed payload. The buffer is shared, not copied:
+    /// every destination of a broadcast and every retransmission reuses the
+    /// bytes the one `pack` produced.
+    pub fn send_packed(
+        &self,
+        to: usize,
+        tag: u32,
+        payload: &PackedPayload,
+    ) -> Result<(), CommError> {
+        self.send_bytes(to, tag, payload.bytes())
+    }
+
+    fn send_bytes(&self, to: usize, tag: u32, payload: Bytes) -> Result<(), CommError> {
         if let Some(limit) = self.max_msg_bytes {
             if payload.len() > limit {
                 return Err(CommError::MessageTooLarge { bytes: payload.len(), limit });
@@ -275,6 +326,12 @@ impl CommHandle {
             // The sender pays bandwidth for every attempt, delivered or not.
             self.stats.record(payload.len());
             self.trace_event("send", "comm", to, tag);
+            // A closed channel is not immediately fatal: the peer may have
+            // consumed and acked an earlier copy of this very message and
+            // exited before a replay (duplicate or retransmission) went
+            // out. The ack check below is the arbiter — only a peer that
+            // vanished *without* acking is an error.
+            let mut peer_gone = false;
             if d.deliver {
                 let wire = if d.corrupt {
                     self.stats.record_corrupted();
@@ -283,16 +340,16 @@ impl CommHandle {
                 } else {
                     payload.clone()
                 };
-                self.senders[to]
+                peer_gone = self.senders[to]
                     .send(Msg { from: self.rank, tag, seq, checksum, payload: wire })
-                    .map_err(|_| CommError::Disconnected)?;
-                if d.duplicate {
+                    .is_err();
+                if d.duplicate && !peer_gone {
                     self.stats.record_duplicated();
                     self.stats.record(payload.len());
                     self.trace_event("duplicate", "fault", to, tag);
-                    self.senders[to]
+                    peer_gone = self.senders[to]
                         .send(Msg { from: self.rank, tag, seq, checksum, payload: payload.clone() })
-                        .map_err(|_| CommError::Disconnected)?;
+                        .is_err();
                 }
             } else {
                 self.stats.record_dropped();
@@ -301,6 +358,9 @@ impl CommHandle {
             if self.wait_ack(to, tag, seq)? {
                 self.trace_event("ack", "comm", to, tag);
                 return Ok(());
+            }
+            if peer_gone {
+                return Err(CommError::Disconnected);
             }
         }
         Err(if self.faults.crashed(to) {
@@ -339,7 +399,15 @@ impl CommHandle {
     /// Blocking receive of the next message from `from` with `tag`;
     /// out-of-order messages are buffered.
     pub fn recv<T: Wire>(&mut self, from: usize, tag: u32) -> Result<T, CommError> {
-        self.recv_inner(from, tag, None)
+        let payload = self.recv_bytes_inner(from, tag, None)?;
+        unpack_all(payload).map_err(CommError::Decode)
+    }
+
+    /// Like [`recv`](Self::recv), but returns the raw payload bytes without
+    /// decoding — the relay path of tree collectives forwards these verbatim
+    /// so intermediate ranks never re-serialize.
+    pub fn recv_bytes(&mut self, from: usize, tag: u32) -> Result<Bytes, CommError> {
+        self.recv_bytes_inner(from, tag, None)
     }
 
     /// Like [`recv`](Self::recv), but gives up with [`CommError::Timeout`]
@@ -350,19 +418,20 @@ impl CommHandle {
         tag: u32,
         timeout: Duration,
     ) -> Result<T, CommError> {
-        self.recv_inner(from, tag, Some(Instant::now() + timeout))
+        let payload = self.recv_bytes_inner(from, tag, Some(Instant::now() + timeout))?;
+        unpack_all(payload).map_err(CommError::Decode)
     }
 
-    fn recv_inner<T: Wire>(
+    fn recv_bytes_inner(
         &mut self,
         from: usize,
         tag: u32,
         deadline: Option<Instant>,
-    ) -> Result<T, CommError> {
+    ) -> Result<Bytes, CommError> {
         if let Some(pos) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
             let msg = self.pending.remove(pos);
             self.trace_event("recv", "comm", from, tag);
-            return decode(msg);
+            return Ok(msg.payload);
         }
         loop {
             let msg = match deadline {
@@ -383,7 +452,7 @@ impl CommHandle {
             }
             if msg.from == from && msg.tag == tag {
                 self.trace_event("recv", "comm", from, tag);
-                return decode(msg);
+                return Ok(msg.payload);
             }
             self.pending.push(msg);
         }
@@ -410,18 +479,98 @@ impl CommHandle {
         !replay
     }
 
+    /// This rank's position relative to `root` (the tree is always rooted
+    /// at relative rank 0), after validating `root`.
+    fn rel_rank(&self, root: usize) -> Result<usize, CommError> {
+        if root >= self.n {
+            return Err(CommError::Protocol(format!(
+                "root rank {root} out of range for {} ranks",
+                self.n
+            )));
+        }
+        Ok((self.rank + self.n - root) % self.n)
+    }
+
+    /// Absolute rank of relative rank `vr` under `root`.
+    fn abs_rank(&self, root: usize, vr: usize) -> usize {
+        (vr + root) % self.n
+    }
+
+    /// Relay `payload` to this rank's tree children, largest subtree first.
+    /// A crashed *leaf* child is skipped — it contributes nothing downstream
+    /// — while a crashed interior child (whose subtree would be orphaned)
+    /// surfaces as [`CommError::NodeDown`].
+    fn forward_tree(
+        &self,
+        vr: usize,
+        root: usize,
+        tag: u32,
+        payload: &PackedPayload,
+    ) -> Result<(), CommError> {
+        let kids = tree::children(vr, self.n);
+        let fanout = kids.len();
+        for &c in kids.iter().rev() {
+            let dest = self.abs_rank(root, c);
+            self.trace_tree(dest, tag, tree::depth(c), fanout);
+            match self.send_packed(dest, tag, payload) {
+                Ok(()) => {}
+                Err(CommError::NodeDown { .. }) if tree::children(c, self.n).is_empty() => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
     /// MPI-style broadcast: the root's value reaches every rank.
-    pub fn broadcast<T: Wire + Clone>(
+    ///
+    /// Routed over the binomial tree: the root packs the value exactly once
+    /// and sends it to its `O(log N)` children; every other rank receives
+    /// the bytes from its tree parent, forwards them *verbatim* to its own
+    /// children, and only then decodes. The linear root-centric loop is
+    /// kept as [`broadcast_linear`](Self::broadcast_linear).
+    pub fn broadcast<T: Wire>(
         &mut self,
         root: usize,
         value: Option<T>,
         tag: u32,
     ) -> Result<T, CommError> {
-        if self.rank == root {
-            let v = value.expect("root must supply the broadcast value");
+        let vr = self.rel_rank(root)?;
+        if vr == 0 {
+            let v = value.ok_or_else(|| {
+                CommError::Protocol("root must supply the broadcast value".into())
+            })?;
+            let payload = PackedPayload::pack(&v);
+            self.forward_tree(0, root, tag, &payload)?;
+            Ok(v)
+        } else {
+            let parent = self.abs_rank(root, tree::parent(vr));
+            let bytes = self.recv_bytes(parent, tag)?;
+            let payload = PackedPayload::from_bytes(bytes);
+            self.forward_tree(vr, root, tag, &payload)?;
+            payload.unpack().map_err(CommError::Decode)
+        }
+    }
+
+    /// The pre-tree broadcast: the root loops over all other ranks. Kept for
+    /// equivalence tests and the collectives ablation.
+    pub fn broadcast_linear<T: Wire>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        tag: u32,
+    ) -> Result<T, CommError> {
+        let vr = self.rel_rank(root)?;
+        if vr == 0 {
+            let v = value.ok_or_else(|| {
+                CommError::Protocol("root must supply the broadcast value".into())
+            })?;
+            let payload = PackedPayload::pack(&v);
             for r in 0..self.n {
                 if r != root {
-                    self.send(r, tag, &v)?;
+                    match self.send_packed(r, tag, &payload) {
+                        Ok(()) | Err(CommError::NodeDown { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
                 }
             }
             Ok(v)
@@ -430,27 +579,36 @@ impl CommHandle {
         }
     }
 
-    /// MPI-style scatter: the root sends element `i` to rank `i`.
+    /// MPI-style scatter: the root sends element `i` to rank `i`. Each part
+    /// is packed exactly once ([`PackedPayload`]), so retransmissions under
+    /// an active fault plan reuse the original buffer.
     pub fn scatter<T: Wire>(
         &mut self,
         root: usize,
         parts: Option<Vec<T>>,
         tag: u32,
     ) -> Result<T, CommError> {
+        self.rel_rank(root)?;
         if self.rank == root {
-            let mut parts = parts.expect("root must supply the scatter parts");
-            assert_eq!(parts.len(), self.n, "scatter needs one part per rank");
-            // Send in reverse so we can pop; keep root's own part for last.
+            let parts = parts
+                .ok_or_else(|| CommError::Protocol("root must supply the scatter parts".into()))?;
+            if parts.len() != self.n {
+                return Err(CommError::Protocol(format!(
+                    "scatter needs one part per rank: got {} parts for {} ranks",
+                    parts.len(),
+                    self.n
+                )));
+            }
             let mut own = None;
-            for r in (0..self.n).rev() {
-                let part = parts.pop().expect("one part per rank");
+            for (r, part) in parts.into_iter().enumerate() {
                 if r == root {
                     own = Some(part);
                 } else {
-                    self.send(r, tag, &part)?;
+                    let payload = PackedPayload::pack(&part);
+                    self.send_packed(r, tag, &payload)?;
                 }
             }
-            Ok(own.expect("root part present"))
+            Ok(own.expect("root part present: parts.len() == n and root < n"))
         } else {
             self.recv(root, tag)
         }
@@ -458,20 +616,60 @@ impl CommHandle {
 
     /// MPI-style gather: every rank's value arrives at the root in rank
     /// order.
+    ///
+    /// Tree-routed: each rank prepends its own value to its children's
+    /// contiguous blocks (ascending child order) and ships the assembled
+    /// block one edge up, so receives overlap across subtrees and the root
+    /// merges `O(log N)` pre-concatenated blocks instead of `N` messages.
+    /// Contiguous subtrees make the concatenation exactly *relative* rank
+    /// order; the root rotates the assembled block back to absolute rank
+    /// order (a no-op at root 0) so results match the linear gather
+    /// bit for bit at any root.
     pub fn gather<T: Wire>(
         &mut self,
         root: usize,
         value: T,
         tag: u32,
     ) -> Result<Option<Vec<T>>, CommError> {
-        if self.rank == root {
+        let vr = self.rel_rank(root)?;
+        let mut block = vec![value];
+        for c in tree::children(vr, self.n) {
+            let part: Vec<T> = self.recv(self.abs_rank(root, c), tag)?;
+            block.extend(part);
+        }
+        if vr == 0 {
+            // block[vr] holds relative rank vr = (abs + n - root) % n;
+            // rotate so out[abs] holds absolute rank abs.
+            block.rotate_left((self.n - root) % self.n);
+            Ok(Some(block))
+        } else {
+            let parent = self.abs_rank(root, tree::parent(vr));
+            self.trace_tree(parent, tag, tree::depth(tree::parent(vr)), 1);
+            self.send(parent, tag, &block)?;
+            Ok(None)
+        }
+    }
+
+    /// The pre-tree gather: the root receives from every rank in turn. The
+    /// root's own contribution is accounted by [`Wire::packed_size`] rather
+    /// than a pack + unpack roundtrip of the buffer (it never crosses a
+    /// boundary; the old copy existed only to model itself).
+    pub fn gather_linear<T: Wire>(
+        &mut self,
+        root: usize,
+        value: T,
+        tag: u32,
+    ) -> Result<Option<Vec<T>>, CommError> {
+        let vr = self.rel_rank(root)?;
+        if vr == 0 {
+            // Size walk only — the cost-model stand-in for the old
+            // pack + unpack roundtrip, minus the buffer copy.
+            std::hint::black_box(value.packed_size());
+            let mut own = Some(value);
             let mut out = Vec::with_capacity(self.n);
             for r in 0..self.n {
                 if r == root {
-                    // Own contribution still pays serialization (MPI copies
-                    // through the buffer even for self-sends in naive use).
-                    let bytes = packed(&value);
-                    out.push(unpack_all(bytes)?);
+                    out.push(own.take().expect("own value taken once"));
                 } else {
                     out.push(self.recv(r, tag)?);
                 }
@@ -483,12 +681,47 @@ impl CommHandle {
         }
     }
 
+    /// Reduce to `root`: combine every rank's value with `op`; the root
+    /// receives the result (`None` elsewhere). Partials combine *inside*
+    /// the tree — each rank folds its own value with its children's
+    /// subtree partials in ascending order, so the fold order is always
+    /// rank order rotated to start at the root (`root, root+1, …`,
+    /// wrapping; exactly absolute rank order when `root == 0`). `op` must
+    /// be associative — the tree changes association, never that order —
+    /// but need not be commutative. For an exactly-left-associated fold at
+    /// any root, gather and fold at the caller instead.
+    pub fn reduce<T: Wire>(
+        &mut self,
+        root: usize,
+        value: T,
+        tag: u32,
+        op: impl Fn(T, T) -> T,
+    ) -> Result<Option<T>, CommError> {
+        let vr = self.rel_rank(root)?;
+        let mut acc = value;
+        for c in tree::children(vr, self.n) {
+            let part: T = self.recv(self.abs_rank(root, c), tag)?;
+            acc = op(acc, part);
+        }
+        if vr == 0 {
+            Ok(Some(acc))
+        } else {
+            let parent = self.abs_rank(root, tree::parent(vr));
+            self.trace_tree(parent, tag, tree::depth(tree::parent(vr)), 1);
+            self.send(parent, tag, &acc)?;
+            Ok(None)
+        }
+    }
+
     /// All-reduce: combine every rank's value with `op`; all ranks receive
-    /// the result. Implemented gather-to-0 + fold + broadcast, like the
-    /// paper's two-level histogram reduction rooted at the main process.
-    /// The gather is in rank order and the fold is left-to-right, so
-    /// non-commutative `op`s see contributions in rank order.
-    pub fn all_reduce<T: Wire + Clone>(
+    /// the result. Implemented as a rank-ordered tree gather to rank 0, a
+    /// left-to-right fold there (like the paper's two-level histogram
+    /// reduction rooted at the main process), and a tree broadcast of the
+    /// result — so non-commutative `op`s see contributions in rank order
+    /// with the exact association of the linear path, while both legs cost
+    /// the root only `O(log N)` serialized messages. For associative `op`s
+    /// that can combine in-tree, see [`reduce`](Self::reduce).
+    pub fn all_reduce<T: Wire>(
         &mut self,
         value: T,
         tag: u32,
@@ -501,10 +734,20 @@ impl CommHandle {
         // tagged `tag + 1` can no longer collide with it.
         self.broadcast(0, reduced, tag | REPLY_TAG_BIT)
     }
-}
 
-fn decode<T: Wire>(msg: Msg) -> Result<T, CommError> {
-    unpack_all(msg.payload).map_err(CommError::Decode)
+    /// The pre-tree all-reduce (linear gather + fold + linear broadcast),
+    /// kept for equivalence tests and the collectives ablation.
+    pub fn all_reduce_linear<T: Wire>(
+        &mut self,
+        value: T,
+        tag: u32,
+        op: impl Fn(T, T) -> T,
+    ) -> Result<T, CommError> {
+        assert_eq!(tag & REPLY_TAG_BIT, 0, "user tags must leave the reply bit clear");
+        let gathered = self.gather_linear(0, value, tag)?;
+        let reduced = gathered.map(|vs| vs.into_iter().reduce(&op).expect("n >= 1 values"));
+        self.broadcast_linear(0, reduced, tag | REPLY_TAG_BIT)
+    }
 }
 
 /// A damaged copy of `payload` for in-flight corruption: flip one byte (or
@@ -780,5 +1023,125 @@ mod tests {
             let j = s.spawn(move || h0.send(1, 6, &9u64));
             assert_eq!(j.join().unwrap(), Err(CommError::Timeout { rank: 1, tag: 6 }));
         });
+    }
+
+    #[test]
+    fn missing_root_arguments_are_protocol_errors() {
+        // Root arguments that used to panic now surface as CommError::Protocol.
+        let mut h = Comm::create(1).pop().expect("one rank");
+        assert!(matches!(h.broadcast::<u64>(0, None, 1), Err(CommError::Protocol(_))));
+        assert!(matches!(h.scatter::<u64>(0, None, 2), Err(CommError::Protocol(_))));
+        assert!(matches!(h.scatter(0, Some(vec![1u64, 2]), 3), Err(CommError::Protocol(_))));
+        // An out-of-range root is a protocol violation on every rank.
+        assert!(matches!(h.broadcast(9, Some(1u64), 4), Err(CommError::Protocol(_))));
+        assert!(matches!(h.gather(9, 1u64, 5), Err(CommError::Protocol(_))));
+    }
+
+    #[test]
+    fn tree_collectives_match_linear_at_nonzero_root() {
+        // Same handles run the tree and linear versions back to back on
+        // disjoint tags; results must agree bit for bit, including the
+        // non-commutative string fold and the rotated gather root.
+        let out = run_ranks(6, None, |mut h| {
+            let root = 2;
+            let bval = if h.rank() == root { Some(vec![7u64, 8, 9]) } else { None };
+            let t = h.broadcast(root, bval.clone(), 1).unwrap();
+            let l = h.broadcast_linear(root, bval, 2).unwrap();
+            let gt = h.gather(root, h.rank() as u64 * 3, 3).unwrap();
+            let gl = h.gather_linear(root, h.rank() as u64 * 3, 4).unwrap();
+            let at = h.all_reduce(h.rank().to_string(), 5, |a, b| a + &b).unwrap();
+            let al = h.all_reduce_linear(h.rank().to_string(), 6, |a, b| a + &b).unwrap();
+            (t == l, gt == gl, at == al, at)
+        });
+        for (i, (b, g, a, s)) in out.iter().enumerate() {
+            assert!(*b && *g && *a, "rank {i}: tree and linear must agree");
+            assert_eq!(s, "012345", "rank {i}: fold must be in rank order");
+        }
+    }
+
+    #[test]
+    fn gather_rotates_to_absolute_rank_order_at_nonzero_root() {
+        let out = run_ranks(5, None, |mut h| h.gather(3, h.rank() as u64, 7).unwrap());
+        assert_eq!(out[3], Some(vec![0, 1, 2, 3, 4]));
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o.is_some(), r == 3);
+        }
+    }
+
+    #[test]
+    fn reduce_folds_in_root_rotated_rank_order() {
+        // Non-commutative op at a non-zero root: the documented fold order
+        // is rank order starting at the root, wrapping.
+        let out = run_ranks(5, None, |mut h| {
+            h.reduce(3, h.rank().to_string(), 8, |a, b| a + &b).unwrap()
+        });
+        assert_eq!(out[3], Some("34012".to_string()));
+        assert_eq!(out.iter().filter(|o| o.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn reduce_sums_at_root_zero() {
+        let out =
+            run_ranks(8, None, |mut h| h.reduce(0, h.rank() as u64 + 1, 9, |a, b| a + b).unwrap());
+        assert_eq!(out[0], Some(36));
+        assert!(out[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn broadcast_skips_crashed_leaf_ranks() {
+        // n = 4 rooted at 0: the tree is 0 -> {1, 2}, 2 -> {3}. Rank 3 is a
+        // leaf; its crash must not sink the broadcast for the live ranks.
+        let plan = FaultPlan::seeded(7)
+            .with_crash(3)
+            .with_max_retries(2)
+            .with_timeout(Duration::from_millis(2));
+        let mut handles =
+            Comm::create_with(4, None, Arc::new(TrafficStats::new()), plan).into_iter();
+        let h0 = handles.next().expect("rank 0");
+        let h1 = handles.next().expect("rank 1");
+        let h2 = handles.next().expect("rank 2");
+        // Rank 3 is "crashed": handle alive (no disconnect) but unserviced.
+        let _h3 = handles.next().expect("rank 3");
+        let out = std::thread::scope(|s| {
+            let j0 = s.spawn(move || {
+                let mut h = h0;
+                h.broadcast(0, Some(41u64), 1)
+            });
+            let j1 = s.spawn(move || {
+                let mut h = h1;
+                h.broadcast::<u64>(0, None, 1)
+            });
+            let j2 = s.spawn(move || {
+                let mut h = h2;
+                h.broadcast::<u64>(0, None, 1)
+            });
+            [j0.join().unwrap(), j1.join().unwrap(), j2.join().unwrap()]
+        });
+        assert_eq!(out, [Ok(41), Ok(41), Ok(41)]);
+    }
+
+    #[test]
+    fn collectives_survive_lossy_links_identically() {
+        // Tree routing must stay inside the reliable seq/ack machinery:
+        // with drops and duplication on, results still match the linear
+        // path exactly.
+        let plan = FaultPlan::seeded(23)
+            .with_drop(0.3)
+            .with_duplication(0.2)
+            .with_max_retries(64)
+            .with_timeout(Duration::from_millis(5));
+        let out = run_ranks_with(8, None, plan, |mut h| {
+            let bval = if h.rank() == 0 { Some(vec![1u8; 64]) } else { None };
+            let b = h.broadcast(0, bval, 1).unwrap();
+            let g = h.gather(0, h.rank() as u32, 2).unwrap();
+            let a = h.all_reduce(h.rank().to_string(), 3, |x, y| x + &y).unwrap();
+            (b, g, a)
+        });
+        for (r, (b, g, a)) in out.iter().enumerate() {
+            assert_eq!(*b, vec![1u8; 64], "rank {r}");
+            assert_eq!(*a, "01234567", "rank {r}");
+            assert_eq!(g.is_some(), r == 0);
+        }
+        assert_eq!(out[0].1, Some((0..8).collect::<Vec<u32>>()));
     }
 }

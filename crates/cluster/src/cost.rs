@@ -55,6 +55,7 @@ pub struct TrafficStats {
     corrupted: AtomicU64,
     retries: AtomicU64,
     redispatches: AtomicU64,
+    env_packs: AtomicU64,
 }
 
 impl TrafficStats {
@@ -94,6 +95,13 @@ impl TrafficStats {
         self.redispatches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one serialization of a broadcast environment. With pack-once
+    /// payload caching this is exactly one per skeleton call with a
+    /// non-empty environment, regardless of node count.
+    pub fn record_env_pack(&self) {
+        self.env_packs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Messages recorded so far.
     pub fn messages(&self) -> u64 {
         self.msgs.load(Ordering::Relaxed)
@@ -129,6 +137,11 @@ impl TrafficStats {
         self.redispatches.load(Ordering::Relaxed)
     }
 
+    /// Broadcast-environment serializations recorded so far.
+    pub fn env_packs(&self) -> u64 {
+        self.env_packs.load(Ordering::Relaxed)
+    }
+
     /// Zero the counters (between experiments).
     pub fn reset(&self) {
         self.msgs.store(0, Ordering::Relaxed);
@@ -138,6 +151,7 @@ impl TrafficStats {
         self.corrupted.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.redispatches.store(0, Ordering::Relaxed);
+        self.env_packs.store(0, Ordering::Relaxed);
     }
 }
 

@@ -34,8 +34,9 @@ pub mod comm;
 pub mod cost;
 pub mod fault;
 pub mod node;
+pub mod tree;
 
-pub use cluster::{Cluster, ClusterConfig, DistOutcome, RawTask};
+pub use cluster::{Cluster, ClusterConfig, DistOutcome, RawTask, Topology};
 pub use comm::{Comm, CommError, CommHandle, REPLY_TAG_BIT};
 pub use cost::{CostModel, DistTiming, TrafficStats};
 pub use fault::{FaultDecision, FaultPlan};

@@ -1,0 +1,181 @@
+//! Binomial broadcast/reduce tree over relative ranks.
+//!
+//! MPI implementations route small- and medium-message collectives over a
+//! binomial tree: the root hands the payload to `log2(N)` children, each of
+//! which relays it to its own subtree, so the root's serialized send time —
+//! O(N) in a naive loop — drops to O(log N) while every relay happens in
+//! parallel on ranks that already hold the data.
+//!
+//! The shape used here is the *contiguous-subtree* binomial tree over
+//! relative ranks `0..m` (relative rank = `(rank - root) mod n`):
+//!
+//! * `parent(v)` clears `v`'s lowest set bit;
+//! * `children(v)` are `v + 2^k` for every `2^k` below `v`'s lowest set bit
+//!   (every power of two for the root), bounded by `m`;
+//! * the subtree rooted at `v` covers exactly the contiguous relative ranks
+//!   `[v, v + lowbit(v))`.
+//!
+//! That contiguity is what lets tree `gather`/`reduce` preserve *rank order*:
+//! a node's own value followed by its children's blocks in ascending-child
+//! order is precisely the rank-ordered run of its subtree, so concatenations
+//! (gather) and left-to-right folds (reduce) over the tree agree with the
+//! linear, root-centric collectives bit for bit.
+
+/// Parent of relative rank `v > 0`: clear the lowest set bit.
+pub fn parent(v: usize) -> usize {
+    debug_assert!(v > 0, "the root has no parent");
+    v & (v - 1)
+}
+
+/// Depth of relative rank `v` (root = 0): its set-bit count.
+pub fn depth(v: usize) -> u32 {
+    v.count_ones()
+}
+
+/// Children of relative rank `v` in a tree of `m` participants, ascending.
+///
+/// For `v = 0` these are the powers of two below `m`; otherwise `v + 2^k`
+/// for each `2^k` smaller than `v`'s lowest set bit. The subtree under child
+/// `c` covers the contiguous range `[c, min(c + lowbit(c), m))`.
+pub fn children(v: usize, m: usize) -> Vec<usize> {
+    let lowbit = if v == 0 { usize::MAX } else { v & v.wrapping_neg() };
+    let mut out = Vec::new();
+    let mut k = 1usize;
+    while k < lowbit {
+        let c = v + k;
+        if c >= m {
+            break;
+        }
+        out.push(c);
+        k <<= 1;
+    }
+    out
+}
+
+/// Arrival offsets of every participant relative to the root starting its
+/// first send at time 0, with per-edge costs supplied by `edge_cost(sender,
+/// child)`.
+///
+/// Each sender's NIC serializes its own sends — children are sent
+/// largest-subtree-first (descending), the order that minimizes the critical
+/// path — while different senders transmit concurrently. `arrival[0]` is 0.
+pub fn broadcast_arrivals(m: usize, mut edge_cost: impl FnMut(usize, usize) -> f64) -> Vec<f64> {
+    let mut arrival = vec![0.0f64; m];
+    // Parents have smaller relative ranks than their children, so a single
+    // ascending pass sees every arrival before it is needed.
+    for v in 0..m {
+        let mut clock = arrival[v];
+        for &c in children(v, m).iter().rev() {
+            clock += edge_cost(v, c);
+            arrival[c] = clock;
+        }
+    }
+    arrival
+}
+
+/// Every (sender, child) edge of the tree over `m` participants, in the
+/// order senders transmit them (ascending sender, descending child).
+pub fn edges(m: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(m.saturating_sub(1));
+    for v in 0..m {
+        for &c in children(v, m).iter().rev() {
+            out.push((v, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_clears_lowest_bit() {
+        assert_eq!(parent(1), 0);
+        assert_eq!(parent(2), 0);
+        assert_eq!(parent(3), 2);
+        assert_eq!(parent(6), 4);
+        assert_eq!(parent(7), 6);
+        assert_eq!(parent(12), 8);
+    }
+
+    #[test]
+    fn children_are_ascending_and_bounded() {
+        assert_eq!(children(0, 8), vec![1, 2, 4]);
+        assert_eq!(children(0, 6), vec![1, 2, 4]);
+        assert_eq!(children(0, 2), vec![1]);
+        assert_eq!(children(4, 8), vec![5, 6]);
+        assert_eq!(children(6, 8), vec![7]);
+        assert_eq!(children(1, 8), Vec::<usize>::new());
+        assert_eq!(children(0, 1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn every_nonroot_has_its_parent_listing_it() {
+        for m in 1..40 {
+            for v in 1..m {
+                let p = parent(v);
+                assert!(children(p, m).contains(&v), "m={m} v={v} parent={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtrees_are_contiguous_and_partition_the_ranks() {
+        // Walking the tree depth-first, children ascending, visits 0..m in
+        // order — the property rank-ordered gather/reduce rest on.
+        fn visit(v: usize, m: usize, out: &mut Vec<usize>) {
+            out.push(v);
+            for c in children(v, m) {
+                visit(c, m, out);
+            }
+        }
+        for m in 1..70 {
+            let mut seen = Vec::new();
+            visit(0, m, &mut seen);
+            assert_eq!(seen, (0..m).collect::<Vec<_>>(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        assert_eq!(depth(0), 0);
+        assert_eq!(depth(1), 1);
+        assert_eq!(depth(6), 2);
+        assert_eq!(depth(7), 3);
+        // Max depth over m participants never exceeds ceil(log2(m)) and
+        // reaches it exactly at powers of two (rank m-1 is all ones).
+        for m in 2..100usize {
+            let max_depth = (0..m).map(depth).max().unwrap();
+            let ceil_log2 = usize::BITS - (m - 1).leading_zeros();
+            assert!(max_depth <= ceil_log2, "m={m}");
+            if m.is_power_of_two() {
+                assert_eq!(max_depth, ceil_log2, "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_arrivals_scale_with_depth() {
+        // With unit edge cost, a power-of-two tree delivers rank v no later
+        // than depth(v) + (fan-out serialization) and the farthest rank in
+        // 16 participants is reached in 4 time units, not 15.
+        let a = broadcast_arrivals(16, |_, _| 1.0);
+        assert_eq!(a[0], 0.0);
+        let worst = a.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(worst, 4.0);
+        // Linear root-serialized sends would need 15 units for the last rank.
+        assert!(worst < 15.0);
+    }
+
+    #[test]
+    fn edges_cover_every_nonroot_once() {
+        for m in 1..32 {
+            let es = edges(m);
+            assert_eq!(es.len(), m - 1, "m={m}");
+            let mut dests: Vec<usize> = es.iter().map(|&(_, c)| c).collect();
+            dests.sort_unstable();
+            assert_eq!(dests, (1..m).collect::<Vec<_>>(), "m={m}");
+        }
+    }
+}

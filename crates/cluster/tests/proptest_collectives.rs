@@ -1,0 +1,140 @@
+//! Property tests: the tree-structured collectives are bit-identical to the
+//! linear ones — for arbitrary payloads, rank counts, roots, and
+//! non-commutative operators, with and without a seeded fault schedule.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use triolet_cluster::{Comm, CommHandle, FaultPlan, TrafficStats};
+
+/// Run `body` on every rank of a fresh `n`-rank communicator under `plan`
+/// and return the per-rank results in rank order.
+fn run_ranks<T, F>(n: usize, plan: FaultPlan, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut CommHandle) -> T + Send + Sync,
+{
+    let handles = Comm::create_with(n, None, Arc::new(TrafficStats::new()), plan);
+    let body = &body;
+    std::thread::scope(|s| {
+        let joins: Vec<_> =
+            handles.into_iter().map(|mut h| s.spawn(move || body(&mut h))).collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    })
+}
+
+fn lossy(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed).with_drop(0.25).with_duplication(0.2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tree_broadcast_matches_linear(
+        payload in proptest::collection::vec(any::<u64>(), 0..96),
+        n in 1usize..9,
+        root_pick in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let root = root_pick % n;
+        for plan in [FaultPlan::none(), lossy(seed)] {
+            let p = payload.clone();
+            let tree = run_ranks(n, plan, |h| {
+                let v = (h.rank() == root).then(|| p.clone());
+                h.broadcast(root, v, 3).unwrap()
+            });
+            let p = payload.clone();
+            let linear = run_ranks(n, plan, |h| {
+                let v = (h.rank() == root).then(|| p.clone());
+                h.broadcast_linear(root, v, 3).unwrap()
+            });
+            prop_assert_eq!(&tree, &linear);
+            prop_assert!(tree.iter().all(|v| *v == payload));
+        }
+    }
+
+    #[test]
+    fn tree_gather_matches_linear(
+        per_rank_len in 0usize..24,
+        n in 1usize..9,
+        root_pick in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let root = root_pick % n;
+        for plan in [FaultPlan::none(), lossy(seed)] {
+            let tree = run_ranks(n, plan, |h| {
+                let mine: Vec<u64> =
+                    (0..per_rank_len).map(|i| (h.rank() * 1000 + i) as u64).collect();
+                h.gather(root, mine, 5).unwrap()
+            });
+            let linear = run_ranks(n, plan, |h| {
+                let mine: Vec<u64> =
+                    (0..per_rank_len).map(|i| (h.rank() * 1000 + i) as u64).collect();
+                h.gather_linear(root, mine, 5).unwrap()
+            });
+            prop_assert_eq!(&tree, &linear);
+            // The root sees every rank's block in absolute rank order.
+            let expect: Vec<Vec<u64>> = (0..n)
+                .map(|r| (0..per_rank_len).map(|i| (r * 1000 + i) as u64).collect())
+                .collect();
+            prop_assert_eq!(tree[root].as_ref().unwrap(), &expect);
+            for (r, got) in tree.iter().enumerate() {
+                prop_assert_eq!(got.is_some(), r == root);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_all_reduce_matches_linear_for_noncommutative_ops(
+        n in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // String concatenation is associative but NOT commutative: any
+        // reordering (not just reassociation) would change the answer.
+        let expect: String = (0..n).map(|r| r.to_string()).collect();
+        for plan in [FaultPlan::none(), lossy(seed)] {
+            let tree = run_ranks(n, plan, |h| {
+                h.all_reduce(h.rank().to_string(), 7, |a, b| a + &b).unwrap()
+            });
+            let linear = run_ranks(n, plan, |h| {
+                h.all_reduce_linear(h.rank().to_string(), 7, |a, b| a + &b).unwrap()
+            });
+            prop_assert_eq!(&tree, &linear);
+            prop_assert!(tree.iter().all(|s| *s == expect));
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_survives_a_crashed_leaf(
+        payload in proptest::collection::vec(any::<u64>(), 0..32),
+        seed in any::<u64>(),
+    ) {
+        // Rank 3 is a leaf of the 4-rank binomial tree rooted at 0; crashing
+        // it must not stop the broadcast from reaching the live ranks.
+        let n = 4;
+        let crashed = 3;
+        let plan = FaultPlan::seeded(seed).with_drop(0.2).with_crash(crashed);
+        let mut handles = Comm::create_with(n, None, Arc::new(TrafficStats::new()), plan);
+        // The crashed rank never participates, but its handle stays alive for
+        // the duration (a dead node, not a deallocated one).
+        let dead = handles.pop().unwrap();
+        let p = &payload;
+        let out: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|mut h| {
+                    s.spawn(move || {
+                        let v = (h.rank() == 0).then(|| p.clone());
+                        h.broadcast(0, v, 9).unwrap()
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        drop(dead);
+        for got in out {
+            prop_assert_eq!(got, payload.clone());
+        }
+    }
+}

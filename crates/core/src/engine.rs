@@ -25,11 +25,72 @@ use triolet_iter::collector::Collector;
 use triolet_iter::shapes::ParHint;
 use triolet_iter::Array2;
 use triolet_pool::parallel::CHUNKS_PER_THREAD;
-use triolet_serial::Wire;
+use triolet_serial::{PackedPayload, Wire};
 
 use crate::dist::DistIter;
 use crate::report::RunStats;
 use crate::run::Run;
+
+/// A broadcast environment serialized exactly once.
+///
+/// Skeletons with a `&E` environment pack it once per call; a `PackedEnv`
+/// lifts that caching across *calls*: multi-phase apps (tpacf's DD/RR/DR
+/// correlations share the observed dataset) pack the shared data once via
+/// [`Triolet::pack_env`] and hand the same `PackedEnv` to each skeleton.
+/// Every per-node copy and retransmission reuses the one buffer — the
+/// paper's "serialize the closure's captured environment once" (§3.4) made
+/// explicit. The original value stays available for root-local execution
+/// paths, which never touch the bytes.
+pub struct PackedEnv<E> {
+    value: E,
+    payload: PackedPayload,
+}
+
+impl<E: Wire> PackedEnv<E> {
+    /// The environment value (used by sequential/local execution).
+    pub fn value(&self) -> &E {
+        &self.value
+    }
+
+    /// Bytes one copy of the environment occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// How a skeleton call received its environment: a plain reference (packed
+/// once inside the call) or an already-packed [`PackedEnv`] (packed once
+/// across many calls). Root-local paths read the value; the distributed
+/// path ships the payload.
+enum EnvArg<'a, E> {
+    Plain(&'a E),
+    Packed(&'a PackedEnv<E>),
+}
+
+impl<'a, E: Wire> EnvArg<'a, E> {
+    fn value(&self) -> &'a E {
+        match self {
+            EnvArg::Plain(e) => e,
+            EnvArg::Packed(p) => &p.value,
+        }
+    }
+
+    /// The serialized environment, packing now (and counting it) only for
+    /// plain references. The zero-byte unit environment is never counted:
+    /// nothing ships.
+    fn payload(&self, stats: &triolet_cluster::TrafficStats) -> PackedPayload {
+        match self {
+            EnvArg::Plain(e) => {
+                let p = PackedPayload::pack(*e);
+                if !p.is_empty() {
+                    stats.record_env_pack();
+                }
+                p
+            }
+            EnvArg::Packed(pe) => pe.payload.clone(),
+        }
+    }
+}
 
 /// The Triolet runtime: a cluster plus the skeleton dispatch logic.
 ///
@@ -74,6 +135,19 @@ impl Triolet {
     /// Is span/event recording on for this runtime's cluster?
     pub fn traced(&self) -> bool {
         self.cluster.config().trace
+    }
+
+    /// Pack a broadcast environment once, for reuse across skeleton calls
+    /// (`*_packed` variants). Counted in
+    /// [`TrafficStats::env_packs`](triolet_cluster::TrafficStats::env_packs):
+    /// with a `PackedEnv`, N consecutive skeleton calls over M nodes cost
+    /// one serialization total, not N (let alone N·M).
+    pub fn pack_env<E: Wire>(&self, env: E) -> PackedEnv<E> {
+        let payload = PackedPayload::pack(&env);
+        if !payload.is_empty() {
+            self.cluster.stats().record_env_pack();
+        }
+        PackedEnv { value: env, payload }
     }
 
     // ======================================================================
@@ -154,13 +228,35 @@ impl Triolet {
     ) -> Run<B>
     where
         It: DistIter,
-        E: Wire + Clone + Send + Sync,
+        E: Wire + Send + Sync,
         B: Wire + Send,
         Seed: Fn() -> B + Send + Sync,
         Step: Fn(&E, B, It::Item) -> B + Send + Sync,
         Merge: Fn(B, B) -> B + Send + Sync,
     {
-        self.fold_reduce_named("fold_reduce", it, env, seed, step, merge)
+        self.fold_reduce_named("fold_reduce", it, EnvArg::Plain(env), seed, step, merge)
+    }
+
+    /// [`Triolet::fold_reduce`] with a pre-packed environment: the bytes
+    /// were serialized once in [`Triolet::pack_env`], so this call ships
+    /// the shared buffer without packing anything.
+    pub fn fold_reduce_packed<It, E, B, Seed, Step, Merge>(
+        &self,
+        it: It,
+        env: &PackedEnv<E>,
+        seed: Seed,
+        step: Step,
+        merge: Merge,
+    ) -> Run<B>
+    where
+        It: DistIter,
+        E: Wire + Send + Sync,
+        B: Wire + Send,
+        Seed: Fn() -> B + Send + Sync,
+        Step: Fn(&E, B, It::Item) -> B + Send + Sync,
+        Merge: Fn(B, B) -> B + Send + Sync,
+    {
+        self.fold_reduce_named("fold_reduce", it, EnvArg::Packed(env), seed, step, merge)
     }
 
     /// [`Triolet::fold_reduce`] with an explicit skeleton name, so derived
@@ -169,14 +265,14 @@ impl Triolet {
         &self,
         name: &str,
         it: It,
-        env: &E,
+        env: EnvArg<'_, E>,
         seed: Seed,
         step: Step,
         merge: Merge,
     ) -> Run<B>
     where
         It: DistIter,
-        E: Wire + Clone + Send + Sync,
+        E: Wire + Send + Sync,
         B: Wire + Send,
         Seed: Fn() -> B + Send + Sync,
         Step: Fn(&E, B, It::Item) -> B + Send + Sync,
@@ -184,6 +280,7 @@ impl Triolet {
     {
         match it.hint() {
             ParHint::Sequential => {
+                let env = env.value();
                 let t0 = Instant::now();
                 let dom = it.outer_domain();
                 let mut g = |b: B, x: It::Item| step(env, b, x);
@@ -193,6 +290,7 @@ impl Triolet {
             }
             ParHint::LocalPar => {
                 // No node boundary: use the environment in place.
+                let env = env.value();
                 let dom = it.outer_domain();
                 let chunks = dom.whole_part().split(self.threads_per_node() * CHUNKS_PER_THREAD);
                 let out = self.cluster.run_raw(vec![RawTask {
@@ -218,15 +316,19 @@ impl Triolet {
                 let dom = it.outer_domain();
                 let parts = dom.split_parts(self.nodes());
                 // Root side: slice each node's data (paper §3.5) — charged
-                // as root time, like the paper's message construction.
+                // as root time, like the paper's message construction. The
+                // environment is packed at most once here; every task
+                // shares the buffer, and the cluster charges its transport
+                // per broadcast edge rather than per task.
                 let t0 = Instant::now();
-                let env_bytes = env.packed_size();
+                let env_payload = env.payload(self.cluster.stats());
+                let env_bytes = env_payload.len();
                 let tasks: Vec<RawTask<'_, B>> = parts
                     .into_iter()
                     .map(|part| {
                         let sub = it.slice_outer(&part);
-                        let wire_bytes = sub.source_bytes() + part.packed_size() + env_bytes;
-                        let env = env.clone();
+                        let wire_bytes = sub.source_bytes() + part.packed_size();
+                        let penv = env_payload.clone();
                         let seed = &seed;
                         let step = &step;
                         let merge = &merge;
@@ -235,10 +337,8 @@ impl Triolet {
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
                                 // Node side: data arrives as bytes.
                                 let sub = ctx.sequential(|| sub.roundtrip());
-                                let env: E = ctx.sequential(|| {
-                                    triolet_serial::unpack_all(triolet_serial::packed(&env))
-                                        .expect("environment roundtrip")
-                                });
+                                let env: E = ctx
+                                    .sequential(|| penv.unpack().expect("environment roundtrip"));
                                 let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
                                 ctx.map_reduce_chunks(
                                     chunks,
@@ -254,7 +354,7 @@ impl Triolet {
                     })
                     .collect();
                 let root_prep_s = t0.elapsed().as_secs_f64();
-                let out = self.cluster.run_raw(tasks);
+                let out = self.cluster.run_raw_with_broadcast(tasks, env_bytes);
                 let t1 = Instant::now();
                 let value = out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
                 let root_merge_s = t1.elapsed().as_secs_f64();
@@ -281,7 +381,14 @@ impl Triolet {
         It: DistIter,
         It::Item: Wire + Send + Default + std::ops::Add<Output = It::Item>,
     {
-        self.fold_reduce_named("sum", it, &(), It::Item::default, |_, a, x| a + x, |a, b| a + b)
+        self.fold_reduce_named(
+            "sum",
+            it,
+            EnvArg::Plain(&()),
+            It::Item::default,
+            |_, a, x| a + x,
+            |a, b| a + b,
+        )
     }
 
     /// Parallel reduction with an arbitrary associative operator.
@@ -303,7 +410,7 @@ impl Triolet {
         self.fold_reduce_named(
             name,
             it,
-            &(),
+            EnvArg::Plain(&()),
             || None,
             |_, acc: Option<It::Item>, x| match acc {
                 None => Some(x),
@@ -322,7 +429,14 @@ impl Triolet {
     where
         It: DistIter,
     {
-        self.fold_reduce_named("count", it, &(), || 0u64, |_, n, _| n + 1, |a, b| a + b)
+        self.fold_reduce_named(
+            "count",
+            it,
+            EnvArg::Plain(&()),
+            || 0u64,
+            |_, n, _| n + 1,
+            |a, b| a + b,
+        )
     }
 
     /// Parallel minimum (by `PartialOrd`; NaNs lose).
@@ -351,7 +465,7 @@ impl Triolet {
         self.fold_reduce_named(
             "mean",
             it,
-            &(),
+            EnvArg::Plain(&()),
             || (0.0f64, 0u64),
             |_, (s, n), x| (s + x, n + 1),
             |(s1, n1), (s2, n2)| (s1 + s2, n1 + n2),
@@ -368,17 +482,41 @@ impl Triolet {
     pub fn collect<It, E, C, Make>(&self, it: It, env: &E, make: Make) -> Run<C::Out>
     where
         It: DistIter,
-        E: Wire + Clone + Send + Sync,
+        E: Wire + Send + Sync,
         C: Collector<Item = It::Item> + Wire + Send,
         Make: Fn() -> C + Send + Sync,
     {
-        self.collect_named("collect", it, env, make)
+        self.collect_named("collect", it, EnvArg::Plain(env), make)
     }
 
-    fn collect_named<It, E, C, Make>(&self, name: &str, it: It, env: &E, make: Make) -> Run<C::Out>
+    /// [`Triolet::collect`] with a pre-packed environment (see
+    /// [`Triolet::pack_env`]): the environment bytes are reused, not
+    /// re-serialized, across calls.
+    pub fn collect_packed<It, E, C, Make>(
+        &self,
+        it: It,
+        env: &PackedEnv<E>,
+        make: Make,
+    ) -> Run<C::Out>
     where
         It: DistIter,
-        E: Wire + Clone + Send + Sync,
+        E: Wire + Send + Sync,
+        C: Collector<Item = It::Item> + Wire + Send,
+        Make: Fn() -> C + Send + Sync,
+    {
+        self.collect_named("collect", it, EnvArg::Packed(env), make)
+    }
+
+    fn collect_named<It, E, C, Make>(
+        &self,
+        name: &str,
+        it: It,
+        env: EnvArg<'_, E>,
+        make: Make,
+    ) -> Run<C::Out>
+    where
+        It: DistIter,
+        E: Wire + Send + Sync,
         C: Collector<Item = It::Item> + Wire + Send,
         Make: Fn() -> C + Send + Sync,
     {
@@ -404,7 +542,9 @@ impl Triolet {
     where
         It: DistIter<Item = usize>,
     {
-        self.collect_named("histogram", it, &(), || triolet_iter::CountHist::new(bins))
+        self.collect_named("histogram", it, EnvArg::Plain(&()), || {
+            triolet_iter::CountHist::new(bins)
+        })
     }
 
     /// Floating-point scatter-add over `cells` cells (cutcp's skeleton: a
@@ -413,7 +553,9 @@ impl Triolet {
     where
         It: DistIter<Item = (usize, f64)>,
     {
-        self.collect_named("scatter_add", it, &(), || triolet_iter::WeightHist::new(cells))
+        self.collect_named("scatter_add", it, EnvArg::Plain(&()), || {
+            triolet_iter::WeightHist::new(cells)
+        })
     }
 
     /// Materialize a 1-D iterator into a vector, preserving element order.
@@ -516,7 +658,30 @@ impl Triolet {
     pub fn build_vec_env<It, E, U, F>(&self, it: It, env: &E, f: F) -> Run<Vec<U>>
     where
         It: DistIter<OuterDom = Seq>,
-        E: Wire + Clone + Send + Sync,
+        E: Wire + Send + Sync,
+        U: Wire + Send,
+        F: Fn(&E, It::Item) -> U + Send + Sync,
+    {
+        self.build_vec_env_arg(it, EnvArg::Plain(env), f)
+    }
+
+    /// [`Triolet::build_vec_env`] with a pre-packed environment (see
+    /// [`Triolet::pack_env`]): the environment bytes are reused, not
+    /// re-serialized, across calls.
+    pub fn build_vec_env_packed<It, E, U, F>(&self, it: It, env: &PackedEnv<E>, f: F) -> Run<Vec<U>>
+    where
+        It: DistIter<OuterDom = Seq>,
+        E: Wire + Send + Sync,
+        U: Wire + Send,
+        F: Fn(&E, It::Item) -> U + Send + Sync,
+    {
+        self.build_vec_env_arg(it, EnvArg::Packed(env), f)
+    }
+
+    fn build_vec_env_arg<It, E, U, F>(&self, it: It, env: EnvArg<'_, E>, f: F) -> Run<Vec<U>>
+    where
+        It: DistIter<OuterDom = Seq>,
+        E: Wire + Send + Sync,
         U: Wire + Send,
         F: Fn(&E, It::Item) -> U + Send + Sync,
     {
@@ -551,6 +716,7 @@ impl Triolet {
         let dom = it.outer_domain();
         match it.hint() {
             ParHint::Sequential => {
+                let env = env.value();
                 let t0 = Instant::now();
                 let mut out = Vec::with_capacity(dom.count());
                 it.fold_outer_part(&dom.whole_part(), (), &mut |(), x| out.push(f(env, x)));
@@ -559,6 +725,7 @@ impl Triolet {
                     .with_trace(self.local_trace("build_vec_env", total_s))
             }
             ParHint::LocalPar => {
+                let env = env.value();
                 let part = dom.whole_part();
                 let f = &f;
                 let out = self.cluster.run_raw(vec![RawTask {
@@ -574,29 +741,28 @@ impl Triolet {
             ParHint::Par => {
                 let parts = dom.split_parts(self.nodes());
                 let t0 = Instant::now();
-                let env_bytes = env.packed_size();
+                let env_payload = env.payload(self.cluster.stats());
+                let env_bytes = env_payload.len();
                 let f = &f;
                 let tasks: Vec<RawTask<'_, Vec<U>>> = parts
                     .into_iter()
                     .map(|part| {
                         let sub = it.slice_outer(&part);
-                        let wire_bytes = sub.source_bytes() + part.packed_size() + env_bytes;
-                        let env = env.clone();
+                        let wire_bytes = sub.source_bytes() + part.packed_size();
+                        let penv = env_payload.clone();
                         RawTask {
                             wire_bytes,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
                                 let sub = ctx.sequential(|| sub.roundtrip());
-                                let env: E = ctx.sequential(|| {
-                                    triolet_serial::unpack_all(triolet_serial::packed(&env))
-                                        .expect("environment roundtrip")
-                                });
+                                let env: E = ctx
+                                    .sequential(|| penv.unpack().expect("environment roundtrip"));
                                 node_fragment(ctx, &sub, &env, &part, f)
                             }),
                         }
                     })
                     .collect();
                 let root_prep_s = t0.elapsed().as_secs_f64();
-                let out = self.cluster.run_raw(tasks);
+                let out = self.cluster.run_raw_with_broadcast(tasks, env_bytes);
                 let t1 = Instant::now();
                 let total: usize = out.results.iter().map(Vec::len).sum();
                 let mut value = Vec::with_capacity(total);

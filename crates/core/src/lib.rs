@@ -52,14 +52,14 @@ pub mod report;
 pub mod run;
 
 pub use dist::DistIter;
-pub use engine::Triolet;
+pub use engine::{PackedEnv, Triolet};
 pub use report::RunStats;
 pub use run::Run;
 
 // Re-export the substrate crates under the facade.
 pub use triolet_cluster::{
-    Cluster, ClusterConfig, CostModel, DistTiming, ExecMode, FaultPlan, NodeCtx, TraceData,
-    TraceHandle, Track, TrafficStats,
+    Cluster, ClusterConfig, CostModel, DistTiming, ExecMode, FaultPlan, NodeCtx, Topology,
+    TraceData, TraceHandle, Track, TrafficStats,
 };
 pub use triolet_domain::{Dim2, Dim2Part, Dim3, Dim3Part, Domain, Part, Seq, SeqPart};
 pub use triolet_iter::{
@@ -73,10 +73,10 @@ pub use triolet_serial::Wire;
 /// Everything an application typically needs.
 pub mod prelude {
     pub use crate::dist::DistIter;
-    pub use crate::engine::Triolet;
+    pub use crate::engine::{PackedEnv, Triolet};
     pub use crate::report::RunStats;
     pub use crate::run::Run;
-    pub use triolet_cluster::{ClusterConfig, CostModel, ExecMode, FaultPlan, TraceData};
+    pub use triolet_cluster::{ClusterConfig, CostModel, ExecMode, FaultPlan, Topology, TraceData};
     pub use triolet_domain::{Dim2, Dim3, Domain, Part, Seq};
     pub use triolet_iter::prelude::*;
 }

@@ -96,6 +96,24 @@ impl From<String> for ArgValue {
     }
 }
 
+/// Argument list for a `comm:tree` span/event: one edge of a tree-routed
+/// collective. `depth` is the receiving rank's depth in the binomial tree
+/// and `fanout` the sender's child count, so a trace shows both the O(log N)
+/// critical path and each sender's serialized send burst.
+pub fn tree_edge_args(
+    peer: usize,
+    tag: u32,
+    depth: u32,
+    fanout: usize,
+) -> Vec<(&'static str, ArgValue)> {
+    vec![
+        ("peer", peer.into()),
+        ("tag", (tag as u64).into()),
+        ("depth", (depth as u64).into()),
+        ("fanout", fanout.into()),
+    ]
+}
+
 /// A completed interval on some track. Times are seconds on the run's
 /// timeline (virtual or wall, depending on the execution mode); the engine
 /// rebases child timelines so every span in one trace shares an origin.

@@ -36,12 +36,14 @@
 //! ```
 
 mod error;
+mod payload;
 mod pod;
 mod reader;
 mod wire;
 mod writer;
 
 pub use error::WireError;
+pub use payload::PackedPayload;
 pub use pod::Pod;
 pub use reader::WireReader;
 pub use wire::{packed, unpack_all, Wire};
