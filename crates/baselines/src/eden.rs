@@ -157,6 +157,7 @@ impl EdenRt {
                 let wire_bytes = if self.nodes() > 1 { group.packed_size() } else { 0 };
                 RawTask {
                     wire_bytes,
+                    pack_s: 0.0,
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
                         // Leader -> process messages: every task input is
                         // serialized to its worker process (no shared heap).
@@ -222,6 +223,7 @@ impl EdenRt {
                 let wire_bytes = if self.nodes() > 1 { data_bytes } else { 0 };
                 RawTask {
                     wire_bytes,
+                    pack_s: 0.0,
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
                         // Each process receives its own full copy of `data`.
                         let data: D = ctx.sequential(|| {

@@ -1,0 +1,159 @@
+//! Ablation: pipelined (streamed) vs barrier dispatch on the distributed
+//! hot path.
+//!
+//! ```text
+//! cargo bench --bench ablation_pipeline -- [--smoke] [--out FILE]
+//! ```
+//!
+//! Runs an mri-q-style environment-broadcasting `fold_reduce` — every task
+//! folds into a large accumulation grid, so the root's per-result
+//! unpack+merge work is substantial — under `PipelineMode::Streamed` and
+//! `PipelineMode::Barrier` at N ∈ {2, 4, 8, 16} nodes and reports the
+//! modeled virtual-time makespan. Streamed mode unpacks and merges each
+//! node's partial the moment it arrives, overlapping root work with later
+//! nodes still computing; barrier mode defers all of it past the last
+//! arrival. The virtual-time scheduler is deterministic, so one run per
+//! point is exact — no statistics needed. `--out` additionally writes the
+//! table as JSON (BENCH_pipeline.json is the committed capture); `--smoke`
+//! shrinks the workload for CI.
+
+use std::io::Write;
+
+use triolet::prelude::*;
+
+struct Point {
+    nodes: usize,
+    pipeline: &'static str,
+    total_s: f64,
+    root_s: f64,
+    value_bits: u64,
+}
+
+fn run_point(
+    nodes: usize,
+    pipeline: PipelineMode,
+    env: &Vec<f64>,
+    xs: &[f64],
+    grid: usize,
+) -> Point {
+    let cfg = ClusterConfig::virtual_cluster(nodes, 4).with_pipeline(pipeline);
+    let rt = Triolet::new(cfg);
+    let run = rt.fold_reduce(
+        from_vec(xs.to_vec()).par(),
+        env,
+        move || vec![0.0f64; grid],
+        |env, mut acc: Vec<f64>, x: f64| {
+            let i = (x as usize) % acc.len();
+            acc[i] += x * env[(x as usize) % env.len()];
+            acc
+        },
+        |mut a, b| {
+            for (ai, bi) in a.iter_mut().zip(&b) {
+                *ai += bi;
+            }
+            a
+        },
+    );
+    let checksum: f64 = run.value.iter().sum();
+    Point {
+        nodes,
+        pipeline: match pipeline {
+            PipelineMode::Streamed => "streamed",
+            PipelineMode::Barrier => "barrier",
+        },
+        total_s: run.stats.total_s,
+        root_s: run.stats.root_s,
+        value_bits: checksum.to_bits(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
+
+    // Each node returns a `grid`-element partial (~1 MiB full-size), so the
+    // root has real unpack+merge work per result — the time the pipeline
+    // hides behind later arrivals.
+    let grid = if smoke { 65_536 } else { 131_072 };
+    let env_len = if smoke { 4_096 } else { 32_768 };
+    let n_items = if smoke { 262_144 } else { 1_048_576 };
+    let env: Vec<f64> = (0..env_len).map(|i| (i as f64) * 0.5 - 1.0).collect();
+    let xs: Vec<f64> = (0..n_items).map(|i| i as f64).collect();
+
+    println!("# Ablation: pipelined vs barrier dispatch");
+    println!(
+        "grid {} bytes | env {} bytes | {} items | cost model {:?} | virtual-time execution",
+        grid * 8,
+        env_len * 8,
+        n_items,
+        CostModel::default()
+    );
+    println!("| nodes | pipeline | makespan (s) | root busy (s) |");
+    println!("|------:|----------|-------------:|--------------:|");
+
+    // One discarded run to warm the allocator and page in the inputs, so
+    // the first measured point doesn't absorb one-time host costs.
+    let _ = run_point(2, PipelineMode::Streamed, &env, &xs, grid);
+
+    let mut points = Vec::new();
+    for nodes in [2usize, 4, 8, 16] {
+        for pipeline in [PipelineMode::Streamed, PipelineMode::Barrier] {
+            let p = run_point(nodes, pipeline, &env, &xs, grid);
+            println!("| {} | {} | {:.6} | {:.6} |", p.nodes, p.pipeline, p.total_s, p.root_s);
+            points.push(p);
+        }
+    }
+
+    // Equivalence: the two modes must agree bit-for-bit at every node count.
+    for nodes in [2usize, 4, 8, 16] {
+        let get = |mode: &str| {
+            points.iter().find(|p| p.nodes == nodes && p.pipeline == mode).expect("point present")
+        };
+        assert_eq!(
+            get("streamed").value_bits,
+            get("barrier").value_bits,
+            "modes must agree bit-for-bit at {nodes} nodes"
+        );
+    }
+
+    // The point of the exercise: streaming must win where the barrier
+    // serializes many per-result unpack+merge steps past the last arrival.
+    for nodes in [8usize, 16] {
+        let get = |mode: &str| {
+            points.iter().find(|p| p.nodes == nodes && p.pipeline == mode).expect("point present")
+        };
+        let (s, b) = (get("streamed"), get("barrier"));
+        assert!(
+            s.total_s < b.total_s,
+            "streamed must beat barrier at {nodes} nodes: {} vs {}",
+            s.total_s,
+            b.total_s
+        );
+        println!("streamed/barrier makespan at {} nodes: {:.3}", nodes, s.total_s / b.total_s);
+    }
+
+    if let Some(path) = out_path {
+        let mut json = String::from("{\n  \"bench\": \"ablation_pipeline\",\n");
+        json.push_str(&format!(
+            "  \"grid_bytes\": {},\n  \"env_bytes\": {},\n  \"items\": {},\n  \"points\": [\n",
+            grid * 8,
+            env_len * 8,
+            n_items
+        ));
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"nodes\": {}, \"pipeline\": \"{}\", \"total_s\": {:.9}, \"root_s\": {:.9}}}{}\n",
+                p.nodes,
+                p.pipeline,
+                p.total_s,
+                p.root_s,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let mut f = std::fs::File::create(&path).expect("create --out file");
+        f.write_all(json.as_bytes()).expect("write --out file");
+        println!("wrote {path}");
+    }
+}

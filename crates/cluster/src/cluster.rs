@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use triolet_obs::{tree_edge_args, TraceData, TraceHandle, Track};
 use triolet_pool::ThreadPool;
-use triolet_serial::{packed, unpack_all, Wire};
+use triolet_serial::{packed, unpack_all, Wire, WireError};
 
 use crate::cost::{CostModel, DistTiming, TrafficStats};
 use crate::fault::FaultPlan;
@@ -54,6 +54,55 @@ pub enum Topology {
     Tree,
 }
 
+/// How the root overlaps its own work with node compute.
+///
+/// `Streamed` (the default) pipelines the distributed hot path: the root
+/// charges each task's pack time immediately before that task's send — so
+/// rank k computes while the root still packs for rank k+1 — and unpacks
+/// each result the moment it arrives instead of barriering on the slowest
+/// node. `Barrier` is the pre-pipeline behavior (pack everything, send
+/// everything, wait for every result, then unpack everything), kept for
+/// equivalence tests and ablation. Results are bit-identical in both modes:
+/// only the modeled timeline and the trace structure differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Serial root prologue/epilogue: pack-all, send-all, wait-all,
+    /// unpack-all.
+    Barrier,
+    /// Overlap root-side pack/send/unpack with node compute (the default).
+    #[default]
+    Streamed,
+}
+
+/// A result payload gathered at the root failed to decode.
+///
+/// The pre-PR-4 dispatcher panicked (`expect("result roundtrip")`) here;
+/// like the comm layer's recv/gather (`CommError::Decode`), a damaged or
+/// mistyped result now surfaces as a typed error through the `try_*`
+/// entry points instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DispatchError {
+    /// Task `task`'s result bytes did not decode as the expected type.
+    Decode {
+        /// Index of the task whose result failed to decode.
+        task: usize,
+        /// The underlying wire-format error.
+        source: WireError,
+    },
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::Decode { task, source } => {
+                write!(f, "task {task}'s result failed to decode at the root: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
 /// Cluster shape and cost parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
@@ -72,6 +121,8 @@ pub struct ClusterConfig {
     pub trace: bool,
     /// Route for one-to-all payloads (tree by default).
     pub topology: Topology,
+    /// Root-side overlap strategy (streamed by default).
+    pub pipeline: PipelineMode,
 }
 
 impl ClusterConfig {
@@ -85,6 +136,7 @@ impl ClusterConfig {
             faults: FaultPlan::none(),
             trace: false,
             topology: Topology::default(),
+            pipeline: PipelineMode::default(),
         }
     }
 
@@ -98,6 +150,7 @@ impl ClusterConfig {
             faults: FaultPlan::none(),
             trace: false,
             topology: Topology::default(),
+            pipeline: PipelineMode::default(),
         }
     }
 
@@ -125,6 +178,12 @@ impl ClusterConfig {
         self
     }
 
+    /// Replace the root-side overlap strategy.
+    pub fn with_pipeline(mut self, pipeline: PipelineMode) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
     /// Total cores across the cluster.
     pub fn total_cores(&self) -> usize {
         self.nodes * self.threads_per_node
@@ -137,6 +196,12 @@ pub struct DistOutcome<R> {
     /// One result per task, in task order (under faults a task's result may
     /// have been computed on a different rank than its index).
     pub results: Vec<R>,
+    /// When each task's result was unpacked and ready at the root, in task
+    /// order, on the outcome's timeline. Under `PipelineMode::Streamed`
+    /// these are staggered arrival-order times (the streaming-merge
+    /// consumer folds the completed prefix as it grows); under `Barrier`
+    /// every entry equals `timing.total_s`.
+    pub arrivals: Vec<f64>,
     /// Timing and traffic breakdown.
     pub timing: DistTiming,
     /// Recorded timeline (empty unless [`ClusterConfig::trace`] is set).
@@ -149,6 +214,11 @@ pub struct DistOutcome<R> {
 pub struct RawTask<'a, R> {
     /// Bytes the node's input payload occupies when serialized.
     pub wire_bytes: usize,
+    /// Root-side seconds spent slicing/packing this task's payload. Charged
+    /// on the root clock immediately before the task's send under
+    /// `PipelineMode::Streamed` (so later packs overlap earlier nodes'
+    /// compute) and as one prologue lump under `Barrier`.
+    pub pack_s: f64,
     /// The node task; must route compute through the [`NodeCtx`].
     pub work: Box<dyn FnOnce(&NodeCtx<'_>) -> R + Send + 'a>,
 }
@@ -423,6 +493,21 @@ impl Cluster {
         R: Wire + Send,
         F: Fn(&NodeCtx<'_>, T) -> R + Send + Sync,
     {
+        self.try_run(payloads, task).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run`](Self::run), surfacing a result that fails to decode at the
+    /// root as [`DispatchError::Decode`] instead of panicking.
+    pub fn try_run<T, R, F>(
+        &self,
+        payloads: Vec<T>,
+        task: F,
+    ) -> Result<DistOutcome<R>, DispatchError>
+    where
+        T: Wire + Send,
+        R: Wire + Send,
+        F: Fn(&NodeCtx<'_>, T) -> R + Send + Sync,
+    {
         assert!(
             payloads.len() <= self.config.nodes,
             "more payloads ({}) than nodes ({})",
@@ -431,24 +516,29 @@ impl Cluster {
         );
         // Root packs every outgoing message (the paper observed message
         // construction itself becoming a bottleneck for sgemm — we charge
-        // it).
-        let t0 = Instant::now();
-        let out_msgs: Vec<bytes::Bytes> = payloads.iter().map(packed).collect();
-        let root_pack_s = t0.elapsed().as_secs_f64();
-        drop(payloads);
+        // it, per payload, so the streamed dispatcher can overlap rank k+1's
+        // pack with rank k's compute).
         let task = &task;
-        let tasks: Vec<RawTask<'_, R>> = out_msgs
+        let tasks: Vec<RawTask<'_, R>> = payloads
             .into_iter()
-            .map(|msg| RawTask {
-                wire_bytes: msg.len(),
-                work: Box::new(move |ctx: &NodeCtx<'_>| {
-                    // Deserialization happens on the node: charge it.
-                    let payload: T = ctx.sequential(|| unpack_all(msg).expect("payload roundtrip"));
-                    task(ctx, payload)
-                }),
+            .map(|payload| {
+                let t0 = Instant::now();
+                let msg = packed(&payload);
+                let pack_s = t0.elapsed().as_secs_f64();
+                drop(payload);
+                RawTask {
+                    wire_bytes: msg.len(),
+                    pack_s,
+                    work: Box::new(move |ctx: &NodeCtx<'_>| {
+                        // Deserialization happens on the node: charge it.
+                        let payload: T =
+                            ctx.sequential(|| unpack_all(msg).expect("payload roundtrip"));
+                        task(ctx, payload)
+                    }),
+                }
             })
             .collect();
-        self.dispatch(tasks, root_pack_s, 0)
+        self.dispatch(tasks, 0.0, 0)
     }
 
     /// Run the same (cloned) payload on every node: the broadcast pattern.
@@ -471,6 +561,18 @@ impl Cluster {
     /// model and traffic accounting. Each task must route its compute
     /// through the provided [`NodeCtx`] so virtual time observes it.
     pub fn run_raw<'a, R>(&self, tasks: Vec<RawTask<'a, R>>) -> DistOutcome<R>
+    where
+        R: Wire + Send,
+    {
+        self.try_run_raw(tasks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_raw`](Self::run_raw), surfacing root-side decode failures as
+    /// [`DispatchError`] instead of panicking.
+    pub fn try_run_raw<'a, R>(
+        &self,
+        tasks: Vec<RawTask<'a, R>>,
+    ) -> Result<DistOutcome<R>, DispatchError>
     where
         R: Wire + Send,
     {
@@ -500,6 +602,19 @@ impl Cluster {
     where
         R: Wire + Send,
     {
+        self.try_run_raw_with_broadcast(tasks, bcast_bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_raw_with_broadcast`](Self::run_raw_with_broadcast), surfacing
+    /// root-side decode failures as [`DispatchError`] instead of panicking.
+    pub fn try_run_raw_with_broadcast<'a, R>(
+        &self,
+        tasks: Vec<RawTask<'a, R>>,
+        bcast_bytes: usize,
+    ) -> Result<DistOutcome<R>, DispatchError>
+    where
+        R: Wire + Send,
+    {
         assert!(
             tasks.len() <= self.config.nodes,
             "more tasks ({}) than nodes ({})",
@@ -513,12 +628,20 @@ impl Cluster {
     /// route through the fault schedule, execute each task once on its
     /// final rank, account all traffic (including lost/duplicated attempts
     /// and retransmissions), and gather results in task order.
+    ///
+    /// Under [`PipelineMode::Streamed`] the root's own pack/unpack work is
+    /// pipelined against node compute: task k+1's pack is charged right
+    /// before its send (so rank k already computes), and each result is
+    /// unpacked the moment it arrives rather than after the slowest node.
+    /// [`PipelineMode::Barrier`] keeps the serial prologue/epilogue. Both
+    /// modes produce bit-identical results and traffic accounting — a
+    /// redispatched task's result still lands in its original task slot.
     fn dispatch<'a, R>(
         &self,
         tasks: Vec<RawTask<'a, R>>,
         root_prep_s: f64,
         bcast_bytes: usize,
-    ) -> DistOutcome<R>
+    ) -> Result<DistOutcome<R>, DispatchError>
     where
         R: Wire + Send,
     {
@@ -610,14 +733,24 @@ impl Cluster {
         if root_prep_s > 0.0 {
             tr.span("root:pack", "prep", Track::Root, 0.0, root_prep_s, vec![]);
         }
+        // Root-side pack seconds, measured per task. `Barrier` charges the
+        // sum as one prologue lump before anything leaves the root (the
+        // pre-pipeline timeline); `Streamed` charges each task's share
+        // right before its own send, so rank k's compute overlaps the pack
+        // for rank k+1.
+        let total_pack: f64 = tasks.iter().map(|t| t.pack_s).sum();
 
         match self.config.mode {
             ExecMode::Virtual => {
+                let mut clock = root_prep_s;
+                if self.config.pipeline == PipelineMode::Barrier && total_pack > 0.0 {
+                    tr.span("root:pack", "prep", Track::Root, clock, clock + total_pack, vec![]);
+                    clock += total_pack;
+                }
                 // The environment goes out first: each sender's NIC
                 // serializes its own edges (largest subtree first), while
                 // ranks that already hold the payload relay concurrently —
                 // this is where the tree's O(log N) last-arrival shows up.
-                let mut clock = root_prep_s;
                 let mut comm_s = 0.0f64;
                 let mut env_arrival = vec![0.0f64; n_nodes];
                 if !env_edges.is_empty() {
@@ -665,9 +798,23 @@ impl Cluster {
 
                 // Root sends sequentially (single NIC): task i's payload
                 // lands only after every earlier attempt — including each
-                // failed attempt's ack timeout — has passed.
+                // failed attempt's ack timeout — has passed. Streamed mode
+                // interleaves each task's pack right before its send: while
+                // this root core packs for task i, every earlier task is
+                // already in flight or computing.
                 let mut send_done = Vec::with_capacity(n_tasks);
                 for (i, (t, route)) in tasks.iter().zip(&routes).enumerate() {
+                    if self.config.pipeline == PipelineMode::Streamed && t.pack_s > 0.0 {
+                        tr.span(
+                            "root:pack",
+                            "prep",
+                            Track::Root,
+                            clock,
+                            clock + t.pack_s,
+                            vec![("task", i.into())],
+                        );
+                        clock += t.pack_s;
+                    }
                     let dt = cost.transfer_time(t.wire_bytes);
                     for (h, hop) in route.hops.iter().enumerate() {
                         let hop_start = clock;
@@ -766,6 +913,7 @@ impl Cluster {
                 // each failed attempt an ack timeout before the retry.
                 let mut finish = 0.0f64;
                 let mut bytes_back = 0u64;
+                let mut ret_arrival = Vec::with_capacity(n_tasks);
                 for (i, rb) in results_bytes.iter().enumerate() {
                     let ret = plan_return(&plan, routes[i].exec, i);
                     let copies = (ret.attempts + ret.dups) as u64;
@@ -817,20 +965,99 @@ impl Cluster {
                         }
                     }
                     finish = finish.max(done_at[i] + path_s);
+                    ret_arrival.push(done_at[i] + path_s);
                 }
 
-                let t1 = Instant::now();
-                let results: Vec<R> = results_bytes
-                    .into_iter()
-                    .map(|rb| unpack_all(rb).expect("result roundtrip"))
-                    .collect();
-                let root_unpack_s = t1.elapsed().as_secs_f64();
-                tr.span("root:unpack", "prep", Track::Root, finish, finish + root_unpack_s, vec![]);
-                DistOutcome {
+                let mut arrivals = vec![0.0f64; n_tasks];
+                let results: Vec<R>;
+                let total_s = match self.config.pipeline {
+                    PipelineMode::Barrier => {
+                        // Serial epilogue: the root waits out the slowest
+                        // return, then unpacks everything in one lump.
+                        let t1 = Instant::now();
+                        let mut out = Vec::with_capacity(n_tasks);
+                        for (i, rb) in results_bytes.into_iter().enumerate() {
+                            match unpack_all(rb) {
+                                Ok(r) => out.push(r),
+                                Err(source) => {
+                                    return Err(DispatchError::Decode { task: i, source })
+                                }
+                            }
+                        }
+                        results = out;
+                        let root_unpack_s = t1.elapsed().as_secs_f64();
+                        tr.span(
+                            "root:unpack",
+                            "prep",
+                            Track::Root,
+                            finish,
+                            finish + root_unpack_s,
+                            vec![],
+                        );
+                        let total = finish + root_unpack_s;
+                        arrivals.iter_mut().for_each(|a| *a = total);
+                        total
+                    }
+                    PipelineMode::Streamed => {
+                        // Streaming epilogue: the root (one core) unpacks
+                        // results in arrival order, each the moment it
+                        // lands — early results are ready while late nodes
+                        // still compute, so most of the unpack cost hides
+                        // inside the network tail. Ties break on task index
+                        // so the processing order is deterministic.
+                        let mut order: Vec<usize> = (0..n_tasks).collect();
+                        order.sort_by(|&a, &b| {
+                            ret_arrival[a]
+                                .partial_cmp(&ret_arrival[b])
+                                .expect("arrival times are finite")
+                                .then(a.cmp(&b))
+                        });
+                        let mut uclock = clock; // root NIC/core free after last send
+                        let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
+                        let mut spans = vec![(0.0f64, 0.0f64); n_tasks];
+                        for &i in &order {
+                            uclock = uclock.max(ret_arrival[i]);
+                            let rb = std::mem::take(&mut results_bytes[i]);
+                            let t1 = Instant::now();
+                            let decoded = unpack_all(rb);
+                            let u = t1.elapsed().as_secs_f64();
+                            match decoded {
+                                Ok(r) => slots[i] = Some(r),
+                                Err(source) => {
+                                    return Err(DispatchError::Decode { task: i, source })
+                                }
+                            }
+                            spans[i] = (uclock, uclock + u);
+                            uclock += u;
+                            arrivals[i] = uclock;
+                        }
+                        // Spans are emitted in task order (not arrival
+                        // order) so the recorded line order is a pure
+                        // function of the inputs, independent of measured
+                        // unpack durations.
+                        if tr.enabled() {
+                            for (i, &(s0, s1)) in spans.iter().enumerate() {
+                                tr.span(
+                                    "root:unpack",
+                                    "prep",
+                                    Track::Root,
+                                    s0,
+                                    s1,
+                                    vec![("task", i.into())],
+                                );
+                            }
+                        }
+                        results =
+                            slots.into_iter().map(|s| s.expect("every task unpacked")).collect();
+                        uclock.max(finish)
+                    }
+                };
+                Ok(DistOutcome {
                     results,
+                    arrivals,
                     trace: tr.take(),
                     timing: DistTiming {
-                        total_s: finish + root_unpack_s,
+                        total_s,
                         comm_s,
                         node_compute_s: node_compute,
                         bytes_out,
@@ -839,12 +1066,22 @@ impl Cluster {
                         retries,
                         redispatches,
                     },
-                }
+                })
             }
             ExecMode::Measured => {
                 let t_start = Instant::now();
+                // Measured mode genuinely packed every payload serially
+                // before dispatch, so the pack lump sits at the timeline
+                // origin in both pipeline modes; what streaming overlaps
+                // here is the *gather* side — the root unpacks each result
+                // as its node thread hands it over, while slower node
+                // threads still compute.
+                let prep_off = root_prep_s + total_pack;
+                if total_pack > 0.0 {
+                    tr.span("root:pack", "prep", Track::Root, root_prep_s, prep_off, vec![]);
+                }
                 // Wall-clock timeline: origin at root-prep start, so sends
-                // (instantaneous in-process) land at `root_prep_s` and node
+                // (instantaneous in-process) land at `prep_off` and node
                 // task spans at their measured offsets.
                 if tr.enabled() {
                     for e in &env_edges {
@@ -857,14 +1094,14 @@ impl Cluster {
                         let mut args = tree_edge_args(dest, ENV_TAG, e.depth, e.fanout);
                         args.push(("bytes", bcast_bytes.into()));
                         args.push(("attempts", (e.attempts as u64).into()));
-                        tr.event("comm:tree", "comm", track, root_prep_s, args);
+                        tr.event("comm:tree", "comm", track, prep_off, args);
                         let fault = |name: &'static str, count: u32| {
                             for _ in 0..count {
                                 tr.event(
                                     name,
                                     "fault",
                                     track,
-                                    root_prep_s,
+                                    prep_off,
                                     vec![("dest", dest.into())],
                                 );
                             }
@@ -880,7 +1117,7 @@ impl Cluster {
                                 "send",
                                 "comm",
                                 Track::Root,
-                                root_prep_s,
+                                prep_off,
                                 vec![
                                     ("task", i.into()),
                                     ("dest", hop.dest.into()),
@@ -894,7 +1131,7 @@ impl Cluster {
                                         name,
                                         "fault",
                                         Track::Root,
-                                        root_prep_s,
+                                        prep_off,
                                         vec![("task", i.into()), ("dest", hop.dest.into())],
                                     );
                                 }
@@ -908,7 +1145,7 @@ impl Cluster {
                                     "redispatch",
                                     "fault",
                                     Track::Root,
-                                    root_prep_s,
+                                    prep_off,
                                     vec![
                                         ("task", i.into()),
                                         ("from", hop.dest.into()),
@@ -927,71 +1164,110 @@ impl Cluster {
                     groups[routes[i].exec].push((i, t));
                 }
                 let pools = &self.pools;
-                let mut slots: Vec<Option<(bytes::Bytes, f64)>> =
-                    (0..n_tasks).map(|_| None).collect();
                 let mut node_compute = vec![0.0f64; n_nodes];
+                let mut raw: Vec<Option<bytes::Bytes>> = (0..n_tasks).map(|_| None).collect();
+                let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
+                let mut arrivals = vec![0.0f64; n_tasks];
+                let mut unpack_spans = vec![(0.0f64, 0.0f64); n_tasks];
+                let mut first_ready: Option<f64> = None;
+                let mut decode_err: Option<DispatchError> = None;
+                let streamed = self.config.pipeline == PipelineMode::Streamed;
+                let (res_tx, res_rx) =
+                    std::sync::mpsc::channel::<(usize, usize, bytes::Bytes, f64)>();
                 std::thread::scope(|s| {
-                    let mut handles = Vec::new();
                     for (rank, group) in groups.into_iter().enumerate() {
                         if group.is_empty() {
                             continue;
                         }
                         let pool = &pools[rank];
                         let tr = tr.clone();
-                        handles.push(s.spawn(move || {
-                            group
-                                .into_iter()
-                                .map(|(i, t)| {
-                                    let node_tr = if tr.enabled() {
-                                        TraceHandle::recording()
-                                    } else {
-                                        TraceHandle::disabled()
-                                    };
-                                    let start_off = root_prep_s + t_start.elapsed().as_secs_f64();
-                                    let ctx =
-                                        NodeCtx::new(rank, tpn, ExecMode::Measured, Some(pool))
-                                            .with_trace(node_tr);
-                                    let result = (t.work)(&ctx);
-                                    let rb =
-                                        ctx.sequential_labeled("pack", "prep", || packed(&result));
-                                    if tr.enabled() {
-                                        let end_off = root_prep_s + t_start.elapsed().as_secs_f64();
-                                        let mut sub = ctx.take_trace();
-                                        sub.shift(start_off);
-                                        tr.absorb(sub);
-                                        tr.span(
-                                            "node:task",
-                                            "dispatch",
-                                            Track::Node(rank),
-                                            start_off,
-                                            end_off,
-                                            vec![("task", i.into())],
-                                        );
-                                    }
-                                    (rank, i, rb, ctx.elapsed())
-                                })
-                                .collect::<Vec<_>>()
-                        }));
+                        let res_tx = res_tx.clone();
+                        s.spawn(move || {
+                            for (i, t) in group {
+                                let node_tr = if tr.enabled() {
+                                    TraceHandle::recording()
+                                } else {
+                                    TraceHandle::disabled()
+                                };
+                                let start_off = prep_off + t_start.elapsed().as_secs_f64();
+                                let ctx = NodeCtx::new(rank, tpn, ExecMode::Measured, Some(pool))
+                                    .with_trace(node_tr);
+                                let result = (t.work)(&ctx);
+                                let rb = ctx.sequential_labeled("pack", "prep", || packed(&result));
+                                if tr.enabled() {
+                                    let end_off = prep_off + t_start.elapsed().as_secs_f64();
+                                    let mut sub = ctx.take_trace();
+                                    sub.shift(start_off);
+                                    tr.absorb(sub);
+                                    tr.span(
+                                        "node:task",
+                                        "dispatch",
+                                        Track::Node(rank),
+                                        start_off,
+                                        end_off,
+                                        vec![("task", i.into())],
+                                    );
+                                }
+                                // The root may have bailed on a decode
+                                // error; a dead receiver is not our problem.
+                                let _ = res_tx.send((rank, i, rb, ctx.elapsed()));
+                            }
+                        });
                     }
-                    for h in handles {
-                        for (rank, i, rb, secs) in h.join().expect("node task must not panic") {
-                            node_compute[rank] += secs;
-                            slots[i] = Some((rb, secs));
+                    drop(res_tx);
+                    // The root thread is the gather consumer. Streamed: take
+                    // each result as its node thread finishes and unpack it
+                    // immediately, overlapping slower nodes' compute.
+                    // Barrier: only record receipt here; the unpack lump
+                    // happens after every node is done (pre-pipeline shape).
+                    while let Ok((rank, i, rb, secs)) = res_rx.recv() {
+                        node_compute[rank] += secs;
+                        if streamed {
+                            let at = prep_off + t_start.elapsed().as_secs_f64();
+                            first_ready.get_or_insert(at);
+                            let decoded = unpack_all(rb.clone());
+                            let done = prep_off + t_start.elapsed().as_secs_f64();
+                            match decoded {
+                                Ok(r) => slots[i] = Some(r),
+                                Err(source) => {
+                                    decode_err = Some(DispatchError::Decode { task: i, source });
+                                    break;
+                                }
+                            }
+                            unpack_spans[i] = (at, done);
+                            arrivals[i] = done;
                         }
+                        raw[i] = Some(rb);
                     }
                 });
-                let gather_off = root_prep_s + t_start.elapsed().as_secs_f64();
-                let mut results = Vec::with_capacity(n_tasks);
+                if let Some(e) = decode_err {
+                    return Err(e);
+                }
+                let gather_off =
+                    first_ready.unwrap_or_else(|| prep_off + t_start.elapsed().as_secs_f64());
+                if !streamed {
+                    for (i, rb) in raw.iter().enumerate() {
+                        let rb = rb.clone().expect("every task produced a result");
+                        match unpack_all(rb) {
+                            Ok(r) => slots[i] = Some(r),
+                            Err(source) => return Err(DispatchError::Decode { task: i, source }),
+                        }
+                    }
+                }
+                // Return-path accounting runs in task order after the fact:
+                // the counters are order-independent sums, and emitting the
+                // trace lines here keeps the recorded order deterministic
+                // even though completion order is not.
                 let mut bytes_back = 0u64;
-                for (i, slot) in slots.into_iter().enumerate() {
-                    let (rb, _) = slot.expect("every task produced a result");
+                for i in 0..n_tasks {
+                    let len = raw[i].as_ref().expect("every task produced a result").len();
                     let ret = plan_return(&plan, routes[i].exec, i);
                     let copies = (ret.attempts + ret.dups) as u64;
                     for _ in 0..copies {
-                        self.stats.record(rb.len());
+                        self.stats.record(len);
                     }
                     messages += copies;
-                    bytes_back += rb.len() as u64 * copies;
+                    bytes_back += len as u64 * copies;
                     for _ in 0..ret.drops {
                         self.stats.record_dropped();
                     }
@@ -1006,7 +1282,7 @@ impl Cluster {
                         self.stats.record_retry();
                     }
                     retries += failed;
-                    if tr.enabled() && failed > 0 {
+                    if tr.enabled() {
                         for _ in 0..failed {
                             tr.event(
                                 "retry",
@@ -1016,16 +1292,32 @@ impl Cluster {
                                 vec![("task", i.into()), ("from", routes[i].exec.into())],
                             );
                         }
+                        if streamed {
+                            let (s0, s1) = unpack_spans[i];
+                            tr.span(
+                                "root:unpack",
+                                "prep",
+                                Track::Root,
+                                s0,
+                                s1,
+                                vec![("task", i.into())],
+                            );
+                        }
                     }
-                    results.push(unpack_all(rb).expect("result roundtrip"));
                 }
-                let end_off = root_prep_s + t_start.elapsed().as_secs_f64();
+                let end_off = prep_off + t_start.elapsed().as_secs_f64();
                 tr.span("root:gather", "comm", Track::Root, gather_off, end_off, vec![]);
-                DistOutcome {
+                if !streamed {
+                    arrivals.iter_mut().for_each(|a| *a = end_off);
+                }
+                let results: Vec<R> =
+                    slots.into_iter().map(|s| s.expect("every task produced a result")).collect();
+                Ok(DistOutcome {
                     results,
+                    arrivals,
                     trace: tr.take(),
                     timing: DistTiming {
-                        total_s: root_prep_s + t_start.elapsed().as_secs_f64(),
+                        total_s: end_off,
                         comm_s: 0.0, // real transfers are in-process; wall time covers them
                         node_compute_s: node_compute,
                         bytes_out,
@@ -1034,7 +1326,7 @@ impl Cluster {
                         retries,
                         redispatches,
                     },
-                }
+                })
             }
         }
     }
@@ -1244,5 +1536,188 @@ mod tests {
         let plan = FaultPlan::seeded(1).with_crash(0).with_crash(1);
         let cluster = Cluster::new(ClusterConfig::virtual_cluster(2, 1).with_faults(plan));
         let _ = cluster.run(vec![1u64, 2], |_ctx, x: u64| x);
+    }
+
+    #[test]
+    fn streamed_and_barrier_are_bit_identical() {
+        // Same payloads, same fault schedule: only the modeled timeline may
+        // differ between pipeline modes, never results or wire accounting.
+        let payloads: Vec<Vec<f64>> =
+            (0..4).map(|i| (0..60).map(|x| (x as f64) * 0.1 + i as f64).collect()).collect();
+        let task = |_ctx: &NodeCtx<'_>, v: Vec<f64>| v.iter().fold(0.0f64, |a, &x| a + x * x);
+        for faults in [FaultPlan::none(), lossy_plan(11)] {
+            let base = ClusterConfig::virtual_cluster(4, 2).with_faults(faults);
+            let s = Cluster::new(base.with_pipeline(PipelineMode::Streamed))
+                .run(payloads.clone(), task);
+            let b =
+                Cluster::new(base.with_pipeline(PipelineMode::Barrier)).run(payloads.clone(), task);
+            assert_eq!(s.results, b.results, "pipeline mode must not change results");
+            assert_eq!(s.timing.bytes_out, b.timing.bytes_out);
+            assert_eq!(s.timing.bytes_back, b.timing.bytes_back);
+            assert_eq!(s.timing.messages, b.timing.messages);
+            assert_eq!(s.timing.retries, b.timing.retries);
+            assert_eq!(s.timing.redispatches, b.timing.redispatches);
+        }
+    }
+
+    #[test]
+    fn streamed_arrivals_are_staggered() {
+        let cluster = Cluster::new(ClusterConfig::virtual_cluster(4, 1));
+        let payloads: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64; 100]).collect();
+        let out = cluster.run(payloads, |_ctx, v: Vec<u64>| v.iter().sum::<u64>());
+        assert_eq!(out.arrivals.len(), 4);
+        // Equal-size payloads on an idle cluster return in task order; the
+        // root's serialized sends stagger them.
+        for w in out.arrivals.windows(2) {
+            assert!(w[0] < w[1], "arrivals must be staggered: {:?}", out.arrivals);
+        }
+        assert!(out.arrivals[0] < out.timing.total_s);
+        assert!(*out.arrivals.last().unwrap() <= out.timing.total_s + 1e-12);
+    }
+
+    #[test]
+    fn barrier_arrivals_all_equal_total() {
+        let cfg = ClusterConfig::virtual_cluster(3, 1).with_pipeline(PipelineMode::Barrier);
+        let out = Cluster::new(cfg).run(vec![1u64, 2, 3], |_ctx, x: u64| x + 1);
+        assert!(out.arrivals.iter().all(|&a| a == out.timing.total_s));
+    }
+
+    /// Packs one word, demands two on unpack: every decode fails.
+    #[derive(Debug)]
+    struct Truncated(u64);
+
+    impl Wire for Truncated {
+        fn pack(&self, w: &mut triolet_serial::WireWriter) {
+            self.0.pack(w);
+        }
+        fn unpack(r: &mut triolet_serial::WireReader) -> triolet_serial::WireResult<Self> {
+            let a = u64::unpack(r)?;
+            let _ = u64::unpack(r)?;
+            Ok(Truncated(a))
+        }
+        fn packed_size(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn result_decode_failure_is_a_typed_error() {
+        for mode in [PipelineMode::Streamed, PipelineMode::Barrier] {
+            let cfg = ClusterConfig::virtual_cluster(2, 1).with_pipeline(mode);
+            let err = Cluster::new(cfg)
+                .try_run(vec![1u64, 2], |_ctx, x: u64| Truncated(x))
+                .expect_err("truncated results must not decode");
+            assert!(
+                matches!(err, DispatchError::Decode { task: 0, .. }),
+                "unexpected error in {mode:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_decode_failure_is_a_typed_error() {
+        for mode in [PipelineMode::Streamed, PipelineMode::Barrier] {
+            let cfg = ClusterConfig::measured(2, 1).with_pipeline(mode);
+            let err = Cluster::new(cfg)
+                .try_run(vec![1u64, 2], |_ctx, x: u64| Truncated(x))
+                .expect_err("truncated results must not decode");
+            assert!(matches!(err, DispatchError::Decode { .. }), "{mode:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn streamed_pack_overlaps_earlier_node_compute() {
+        let cfg = ClusterConfig::virtual_cluster(3, 1).with_trace(true);
+        let out = Cluster::new(cfg).run(
+            vec![vec![1u64; 64], vec![2; 64], vec![3; 64]],
+            |ctx, v: Vec<u64>| {
+                // Long enough that a loaded host's scheduling jitter in the
+                // wall-measured pack times cannot push a pack span past it.
+                ctx.sequential(|| std::thread::sleep(std::time::Duration::from_millis(25)));
+                v.iter().sum::<u64>()
+            },
+        );
+        let span_for = |name: &str, task: u64| {
+            out.trace
+                .spans
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.args.iter().any(|(k, v)| {
+                            *k == "task" && matches!(v, triolet_obs::ArgValue::U64(t) if *t == task)
+                        })
+                })
+                .unwrap_or_else(|| panic!("missing {name} span for task {task}"))
+        };
+        // One pack and one unpack span per task.
+        assert_eq!(out.trace.spans.iter().filter(|s| s.name == "root:pack").count(), 3);
+        assert_eq!(out.trace.spans.iter().filter(|s| s.name == "root:unpack").count(), 3);
+        // The tentpole overlap: while node 0 computes, the root is already
+        // packing (and sending) task 1.
+        let node0 = span_for("node:task", 0);
+        let pack1 = span_for("root:pack", 1);
+        assert!(
+            pack1.t0 >= node0.t0 && pack1.t1 <= node0.t1,
+            "root:pack for task 1 ({}..{}) must sit inside node 0's compute ({}..{})",
+            pack1.t0,
+            pack1.t1,
+            node0.t0,
+            node0.t1
+        );
+        // And the first result is unpacked before the last one arrives.
+        let unpack0 = span_for("root:unpack", 0);
+        let unpack2 = span_for("root:unpack", 2);
+        assert!(unpack0.t1 <= unpack2.t0, "streamed unpacks must not wait for stragglers");
+    }
+
+    #[test]
+    fn barrier_keeps_the_serial_epilogue() {
+        let cfg = ClusterConfig::virtual_cluster(3, 1)
+            .with_trace(true)
+            .with_pipeline(PipelineMode::Barrier);
+        let out = Cluster::new(cfg)
+            .run(vec![vec![1u64; 64], vec![2; 64], vec![3; 64]], |ctx, v: Vec<u64>| {
+                ctx.sequential(|| v.iter().sum::<u64>())
+            });
+        // One lump pack, one lump unpack; the unpack starts after the last
+        // node:task ends.
+        assert_eq!(out.trace.spans.iter().filter(|s| s.name == "root:pack").count(), 1);
+        let unpacks: Vec<_> = out.trace.spans.iter().filter(|s| s.name == "root:unpack").collect();
+        assert_eq!(unpacks.len(), 1);
+        let last_node_end = out
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "node:task")
+            .map(|s| s.t1)
+            .fold(0.0f64, f64::max);
+        assert!(unpacks[0].t0 >= last_node_end);
+    }
+
+    #[test]
+    fn measured_streamed_matches_barrier() {
+        let payloads: Vec<Vec<u64>> = (0..3).map(|i| (0..=i as u64).collect()).collect();
+        let task = |_ctx: &NodeCtx<'_>, v: Vec<u64>| v.iter().sum::<u64>();
+        let s = Cluster::new(ClusterConfig::measured(3, 2).with_pipeline(PipelineMode::Streamed))
+            .run(payloads.clone(), task);
+        let b = Cluster::new(ClusterConfig::measured(3, 2).with_pipeline(PipelineMode::Barrier))
+            .run(payloads, task);
+        assert_eq!(s.results, b.results);
+        assert_eq!(s.timing.bytes_out, b.timing.bytes_out);
+        assert_eq!(s.timing.bytes_back, b.timing.bytes_back);
+        assert_eq!(s.timing.messages, b.timing.messages);
+    }
+
+    #[test]
+    fn redispatched_result_lands_in_original_slot_mid_stream() {
+        // Rank 1 crashes, so its task is redispatched and returns out of
+        // step with the stream — its result must still occupy slot 1.
+        let plan = FaultPlan::seeded(9).with_crash(1).with_timeout(Duration::from_millis(1));
+        for mode in [PipelineMode::Streamed, PipelineMode::Barrier] {
+            let cfg = ClusterConfig::virtual_cluster(4, 2).with_faults(plan).with_pipeline(mode);
+            let out = Cluster::new(cfg).run(vec![10u64, 20, 30, 40], |_ctx, x: u64| x * 2);
+            assert_eq!(out.results, vec![20, 40, 60, 80], "slot order broken in {mode:?}");
+            assert!(out.timing.redispatches >= 1);
+        }
     }
 }

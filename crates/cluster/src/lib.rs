@@ -36,7 +36,9 @@ pub mod fault;
 pub mod node;
 pub mod tree;
 
-pub use cluster::{Cluster, ClusterConfig, DistOutcome, RawTask, Topology};
+pub use cluster::{
+    Cluster, ClusterConfig, DispatchError, DistOutcome, PipelineMode, RawTask, Topology,
+};
 pub use comm::{Comm, CommError, CommHandle, REPLY_TAG_BIT};
 pub use cost::{CostModel, DistTiming, TrafficStats};
 pub use fault::{FaultDecision, FaultPlan};

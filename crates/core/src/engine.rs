@@ -19,7 +19,9 @@
 
 use std::time::Instant;
 
-use triolet_cluster::{Cluster, ClusterConfig, NodeCtx, RawTask, TraceData, TraceHandle, Track};
+use triolet_cluster::{
+    Cluster, ClusterConfig, NodeCtx, PipelineMode, RawTask, TraceData, TraceHandle, Track,
+};
 use triolet_domain::{Dim2, Domain, Part, Seq, SeqPart};
 use triolet_iter::collector::Collector;
 use triolet_iter::shapes::ParHint;
@@ -90,6 +92,37 @@ impl<'a, E: Wire> EnvArg<'a, E> {
             EnvArg::Packed(pe) => pe.payload.clone(),
         }
     }
+}
+
+/// Model the rank-ordered streaming merge against the dispatch timeline.
+///
+/// `step(i)` folds task `i`'s result into the caller's accumulator and is
+/// wall-measured here. On the modeled clock, step `i` cannot start before
+/// task `i`'s result is unpacked at the root (`arrivals[i]`) nor before
+/// step `i-1` finished — the completed prefix folds as it grows, in fixed
+/// task order, so the merged value is bit-identical to the barrier path's
+/// lump merge while most of its cost hides inside the arrival stream.
+///
+/// Returns `(merge_end, merge_busy_s, spans)`: when the last fold finished,
+/// the root's busy seconds across all folds, and one `(t0, t1)` interval
+/// per task (task-indexed, on the dispatch timeline) for tracing.
+fn streamed_merge_clock(
+    arrivals: &[f64],
+    mut step: impl FnMut(usize),
+) -> (f64, f64, Vec<(f64, f64)>) {
+    let mut clock = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut spans = Vec::with_capacity(arrivals.len());
+    for (i, &arrival) in arrivals.iter().enumerate() {
+        clock = clock.max(arrival);
+        let t = Instant::now();
+        step(i);
+        let u = t.elapsed().as_secs_f64();
+        spans.push((clock, clock + u));
+        clock += u;
+        busy += u;
+    }
+    (clock, busy, spans)
 }
 
 /// The Triolet runtime: a cluster plus the skeleton dispatch logic.
@@ -195,6 +228,49 @@ impl Triolet {
         h.take()
     }
 
+    /// [`skeleton_trace`](Self::skeleton_trace) for the streamed pipeline:
+    /// instead of one lump `root:merge` after the dispatch, each task's fold
+    /// is its own `root:merge:streamed` span interleaved with the dispatch
+    /// timeline (`end_s` already covers the last fold, so the skeleton span
+    /// still encloses everything).
+    fn skeleton_trace_streamed(
+        &self,
+        name: &str,
+        prep: Option<f64>,
+        mut dist: TraceData,
+        end_s: f64,
+        merge_spans: &[(f64, f64)],
+    ) -> TraceData {
+        if !self.traced() {
+            return TraceData::default();
+        }
+        let prep_s = prep.unwrap_or(0.0);
+        let total = prep_s + end_s;
+        let h = TraceHandle::recording();
+        h.span(format!("skeleton:{name}"), "skeleton", Track::Root, 0.0, total, vec![]);
+        if prep.is_some() {
+            h.span("root:slice", "prep", Track::Root, 0.0, prep_s, vec![]);
+        }
+        for (i, &(s0, s1)) in merge_spans.iter().enumerate() {
+            h.span(
+                "root:merge:streamed",
+                "merge",
+                Track::Root,
+                prep_s + s0,
+                prep_s + s1,
+                vec![("task", i.into())],
+            );
+        }
+        dist.shift(prep_s);
+        h.absorb(dist);
+        h.take()
+    }
+
+    /// Is the cluster's dispatch pipeline streamed (vs barrier)?
+    fn streamed(&self) -> bool {
+        self.cluster.config().pipeline == PipelineMode::Streamed
+    }
+
     // ======================================================================
     // The master skeleton
     // ======================================================================
@@ -295,6 +371,7 @@ impl Triolet {
                 let chunks = dom.whole_part().split(self.threads_per_node() * CHUNKS_PER_THREAD);
                 let out = self.cluster.run_raw(vec![RawTask {
                     wire_bytes: 0, // local execution: nothing ships
+                    pack_s: 0.0,
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
                         ctx.map_reduce_chunks(
                             chunks,
@@ -315,25 +392,31 @@ impl Triolet {
             ParHint::Par => {
                 let dom = it.outer_domain();
                 let parts = dom.split_parts(self.nodes());
-                // Root side: slice each node's data (paper §3.5) — charged
-                // as root time, like the paper's message construction. The
-                // environment is packed at most once here; every task
-                // shares the buffer, and the cluster charges its transport
-                // per broadcast edge rather than per task.
+                // Root side: the environment is packed at most once here
+                // (charged as root prep); every task shares the buffer, and
+                // the cluster charges its transport per broadcast edge
+                // rather than per task. Slicing each node's data (paper
+                // §3.5) is measured per task into `pack_s`, so the streamed
+                // dispatcher can overlap task k+1's slice/pack with task
+                // k's compute.
                 let t0 = Instant::now();
                 let env_payload = env.payload(self.cluster.stats());
                 let env_bytes = env_payload.len();
+                let root_prep_s = t0.elapsed().as_secs_f64();
                 let tasks: Vec<RawTask<'_, B>> = parts
                     .into_iter()
                     .map(|part| {
+                        let tp = Instant::now();
                         let sub = it.slice_outer(&part);
                         let wire_bytes = sub.source_bytes() + part.packed_size();
+                        let pack_s = tp.elapsed().as_secs_f64();
                         let penv = env_payload.clone();
                         let seed = &seed;
                         let step = &step;
                         let merge = &merge;
                         RawTask {
                             wire_bytes,
+                            pack_s,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
                                 // Node side: data arrives as bytes.
                                 let sub = ctx.sequential(|| sub.roundtrip());
@@ -353,20 +436,53 @@ impl Triolet {
                         }
                     })
                     .collect();
-                let root_prep_s = t0.elapsed().as_secs_f64();
                 let out = self.cluster.run_raw_with_broadcast(tasks, env_bytes);
-                let t1 = Instant::now();
-                let value = out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
-                let root_merge_s = t1.elapsed().as_secs_f64();
-                let trace = self.skeleton_trace(
-                    name,
-                    Some(root_prep_s),
-                    out.trace,
-                    out.timing.total_s,
-                    Some(root_merge_s),
-                );
-                Run::new(value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                if self.streamed() {
+                    // Fold node partials in task order as the completed
+                    // prefix grows — same order as the barrier reduce, so
+                    // the value is bit-identical.
+                    let mut results = out.results.into_iter();
+                    let mut acc: Option<B> = None;
+                    let (merge_end, merge_busy, spans) =
+                        streamed_merge_clock(&out.arrivals, |_| {
+                            let r = results.next().expect("one result per task");
+                            acc = Some(match acc.take() {
+                                None => r,
+                                Some(a) => merge(a, r),
+                            });
+                        });
+                    let value = acc.unwrap_or_else(&seed);
+                    let end_s = out.timing.total_s.max(merge_end);
+                    let trace = self.skeleton_trace_streamed(
+                        name,
+                        Some(root_prep_s),
+                        out.trace,
+                        end_s,
+                        &spans,
+                    );
+                    Run::new(
+                        value,
+                        RunStats::overlapped(
+                            out.timing,
+                            root_prep_s + merge_busy,
+                            root_prep_s + end_s,
+                        ),
+                    )
                     .with_trace(trace)
+                } else {
+                    let t1 = Instant::now();
+                    let value = out.results.into_iter().reduce(merge).unwrap_or_else(&seed);
+                    let root_merge_s = t1.elapsed().as_secs_f64();
+                    let trace = self.skeleton_trace(
+                        name,
+                        Some(root_prep_s),
+                        out.trace,
+                        out.timing.total_s,
+                        Some(root_merge_s),
+                    );
+                    Run::new(value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                        .with_trace(trace)
+                }
             }
         }
     }
@@ -606,6 +722,7 @@ impl Triolet {
                 let part = dom.whole_part();
                 let out = self.cluster.run_raw(vec![RawTask {
                     wire_bytes: 0,
+                    pack_s: 0.0,
                     work: Box::new(move |ctx: &NodeCtx<'_>| node_fragment(ctx, &it, &part)),
                 }]);
                 let trace =
@@ -620,10 +737,13 @@ impl Triolet {
                 let tasks: Vec<RawTask<'_, Vec<It::Item>>> = parts
                     .into_iter()
                     .map(|part| {
+                        let tp = Instant::now();
                         let sub = it.slice_outer(&part);
                         let wire_bytes = sub.source_bytes() + part.packed_size();
+                        let pack_s = tp.elapsed().as_secs_f64();
                         RawTask {
                             wire_bytes,
+                            pack_s,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
                                 let sub = ctx.sequential(|| sub.roundtrip());
                                 node_fragment(ctx, &sub, &part)
@@ -631,24 +751,54 @@ impl Triolet {
                         }
                     })
                     .collect();
-                let root_prep_s = t0.elapsed().as_secs_f64();
+                let root_prep_s =
+                    t0.elapsed().as_secs_f64() - tasks.iter().map(|t| t.pack_s).sum::<f64>();
                 let out = self.cluster.run_raw(tasks);
-                let t1 = Instant::now();
-                let total: usize = out.results.iter().map(Vec::len).sum();
-                let mut value = Vec::with_capacity(total);
-                for frag in out.results {
-                    value.extend(frag);
-                }
-                let root_merge_s = t1.elapsed().as_secs_f64();
-                let trace = self.skeleton_trace(
-                    "build_vec",
-                    Some(root_prep_s),
-                    out.trace,
-                    out.timing.total_s,
-                    Some(root_merge_s),
-                );
-                Run::new(value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                if self.streamed() {
+                    // Concatenate fragments in part order as they complete:
+                    // identical bytes to the barrier concatenation.
+                    let total: usize = out.results.iter().map(Vec::len).sum();
+                    let mut frags = out.results.into_iter();
+                    let mut value = Vec::with_capacity(total);
+                    let (merge_end, merge_busy, spans) =
+                        streamed_merge_clock(&out.arrivals, |_| {
+                            value.extend(frags.next().expect("one fragment per task"));
+                        });
+                    let end_s = out.timing.total_s.max(merge_end);
+                    let trace = self.skeleton_trace_streamed(
+                        "build_vec",
+                        Some(root_prep_s),
+                        out.trace,
+                        end_s,
+                        &spans,
+                    );
+                    Run::new(
+                        value,
+                        RunStats::overlapped(
+                            out.timing,
+                            root_prep_s + merge_busy,
+                            root_prep_s + end_s,
+                        ),
+                    )
                     .with_trace(trace)
+                } else {
+                    let t1 = Instant::now();
+                    let total: usize = out.results.iter().map(Vec::len).sum();
+                    let mut value = Vec::with_capacity(total);
+                    for frag in out.results {
+                        value.extend(frag);
+                    }
+                    let root_merge_s = t1.elapsed().as_secs_f64();
+                    let trace = self.skeleton_trace(
+                        "build_vec",
+                        Some(root_prep_s),
+                        out.trace,
+                        out.timing.total_s,
+                        Some(root_merge_s),
+                    );
+                    Run::new(value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                        .with_trace(trace)
+                }
             }
         }
     }
@@ -730,6 +880,7 @@ impl Triolet {
                 let f = &f;
                 let out = self.cluster.run_raw(vec![RawTask {
                     wire_bytes: 0,
+                    pack_s: 0.0,
                     work: Box::new(move |ctx: &NodeCtx<'_>| node_fragment(ctx, &it, env, &part, f)),
                 }]);
                 let trace =
@@ -743,15 +894,19 @@ impl Triolet {
                 let t0 = Instant::now();
                 let env_payload = env.payload(self.cluster.stats());
                 let env_bytes = env_payload.len();
+                let root_prep_s = t0.elapsed().as_secs_f64();
                 let f = &f;
                 let tasks: Vec<RawTask<'_, Vec<U>>> = parts
                     .into_iter()
                     .map(|part| {
+                        let tp = Instant::now();
                         let sub = it.slice_outer(&part);
                         let wire_bytes = sub.source_bytes() + part.packed_size();
+                        let pack_s = tp.elapsed().as_secs_f64();
                         let penv = env_payload.clone();
                         RawTask {
                             wire_bytes,
+                            pack_s,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
                                 let sub = ctx.sequential(|| sub.roundtrip());
                                 let env: E = ctx
@@ -761,24 +916,50 @@ impl Triolet {
                         }
                     })
                     .collect();
-                let root_prep_s = t0.elapsed().as_secs_f64();
                 let out = self.cluster.run_raw_with_broadcast(tasks, env_bytes);
-                let t1 = Instant::now();
-                let total: usize = out.results.iter().map(Vec::len).sum();
-                let mut value = Vec::with_capacity(total);
-                for frag in out.results {
-                    value.extend(frag);
-                }
-                let root_merge_s = t1.elapsed().as_secs_f64();
-                let trace = self.skeleton_trace(
-                    "build_vec_env",
-                    Some(root_prep_s),
-                    out.trace,
-                    out.timing.total_s,
-                    Some(root_merge_s),
-                );
-                Run::new(value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                if self.streamed() {
+                    let total: usize = out.results.iter().map(Vec::len).sum();
+                    let mut frags = out.results.into_iter();
+                    let mut value = Vec::with_capacity(total);
+                    let (merge_end, merge_busy, spans) =
+                        streamed_merge_clock(&out.arrivals, |_| {
+                            value.extend(frags.next().expect("one fragment per task"));
+                        });
+                    let end_s = out.timing.total_s.max(merge_end);
+                    let trace = self.skeleton_trace_streamed(
+                        "build_vec_env",
+                        Some(root_prep_s),
+                        out.trace,
+                        end_s,
+                        &spans,
+                    );
+                    Run::new(
+                        value,
+                        RunStats::overlapped(
+                            out.timing,
+                            root_prep_s + merge_busy,
+                            root_prep_s + end_s,
+                        ),
+                    )
                     .with_trace(trace)
+                } else {
+                    let t1 = Instant::now();
+                    let total: usize = out.results.iter().map(Vec::len).sum();
+                    let mut value = Vec::with_capacity(total);
+                    for frag in out.results {
+                        value.extend(frag);
+                    }
+                    let root_merge_s = t1.elapsed().as_secs_f64();
+                    let trace = self.skeleton_trace(
+                        "build_vec_env",
+                        Some(root_prep_s),
+                        out.trace,
+                        out.timing.total_s,
+                        Some(root_merge_s),
+                    );
+                    Run::new(value, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                        .with_trace(trace)
+                }
             }
         }
     }
@@ -815,11 +996,14 @@ impl Triolet {
                 let tasks: Vec<RawTask<'_, Vec<It::Item>>> = parts
                     .into_iter()
                     .map(|part| {
+                        let tp = Instant::now();
                         let sub = it.slice_outer(&part);
                         let wire_bytes =
                             if local { 0 } else { sub.source_bytes() + part.packed_size() };
+                        let pack_s = if local { 0.0 } else { tp.elapsed().as_secs_f64() };
                         RawTask {
                             wire_bytes,
+                            pack_s,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
                                 let sub =
                                     if local { sub } else { ctx.sequential(|| sub.roundtrip()) };
@@ -841,27 +1025,55 @@ impl Triolet {
                         }
                     })
                     .collect();
-                let root_prep_s = t0.elapsed().as_secs_f64();
+                let root_prep_s =
+                    t0.elapsed().as_secs_f64() - tasks.iter().map(|t| t.pack_s).sum::<f64>();
                 let out = self.cluster.run_raw(tasks);
-                let t1 = Instant::now();
-                let total: usize = out.results.iter().map(Vec::len).sum();
-                let mut data = Vec::with_capacity(total);
-                for frag in out.results {
-                    data.extend(frag);
+                if self.streamed() {
+                    let total: usize = out.results.iter().map(Vec::len).sum();
+                    let mut frags = out.results.into_iter();
+                    let mut data = Vec::with_capacity(total);
+                    let (merge_end, merge_busy, spans) =
+                        streamed_merge_clock(&out.arrivals, |_| {
+                            data.extend(frags.next().expect("one slab per task"));
+                        });
+                    let end_s = out.timing.total_s.max(merge_end);
+                    let trace = self.skeleton_trace_streamed(
+                        "build_array3",
+                        Some(root_prep_s),
+                        out.trace,
+                        end_s,
+                        &spans,
+                    );
+                    Run::new(
+                        triolet_iter::Array3::from_vec(data, dom),
+                        RunStats::overlapped(
+                            out.timing,
+                            root_prep_s + merge_busy,
+                            root_prep_s + end_s,
+                        ),
+                    )
+                    .with_trace(trace)
+                } else {
+                    let t1 = Instant::now();
+                    let total: usize = out.results.iter().map(Vec::len).sum();
+                    let mut data = Vec::with_capacity(total);
+                    for frag in out.results {
+                        data.extend(frag);
+                    }
+                    let root_merge_s = t1.elapsed().as_secs_f64();
+                    let trace = self.skeleton_trace(
+                        "build_array3",
+                        Some(root_prep_s),
+                        out.trace,
+                        out.timing.total_s,
+                        Some(root_merge_s),
+                    );
+                    Run::new(
+                        triolet_iter::Array3::from_vec(data, dom),
+                        RunStats::from_dist(out.timing, root_prep_s + root_merge_s),
+                    )
+                    .with_trace(trace)
                 }
-                let root_merge_s = t1.elapsed().as_secs_f64();
-                let trace = self.skeleton_trace(
-                    "build_array3",
-                    Some(root_prep_s),
-                    out.trace,
-                    out.timing.total_s,
-                    Some(root_merge_s),
-                );
-                Run::new(
-                    triolet_iter::Array3::from_vec(data, dom),
-                    RunStats::from_dist(out.timing, root_prep_s + root_merge_s),
-                )
-                .with_trace(trace)
             }
         }
     }
@@ -918,6 +1130,7 @@ impl Triolet {
                 let part = dom.whole_part();
                 let out = self.cluster.run_raw(vec![RawTask {
                     wire_bytes: 0,
+                    pack_s: 0.0,
                     work: Box::new(move |ctx: &NodeCtx<'_>| assemble_block(ctx, &it, &part)),
                 }]);
                 let trace =
@@ -936,10 +1149,13 @@ impl Triolet {
                 let tasks: Vec<RawTask<'_, (triolet_domain::Dim2Part, Vec<It::Item>)>> = parts
                     .into_iter()
                     .map(|part| {
+                        let tp = Instant::now();
                         let sub = it.slice_outer(&part);
                         let wire_bytes = sub.source_bytes() + part.packed_size();
+                        let pack_s = tp.elapsed().as_secs_f64();
                         RawTask {
                             wire_bytes,
+                            pack_s,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
                                 let sub = ctx.sequential(|| sub.roundtrip());
                                 let block = assemble_block(ctx, &sub, &part);
@@ -948,26 +1164,59 @@ impl Triolet {
                         }
                     })
                     .collect();
-                let root_prep_s = t0.elapsed().as_secs_f64();
+                let root_prep_s =
+                    t0.elapsed().as_secs_f64() - tasks.iter().map(|t| t.pack_s).sum::<f64>();
                 let out = self.cluster.run_raw(tasks);
-                let t1 = Instant::now();
-                let mut result = Array2::zeros(dom.rows, dom.cols);
-                for (part, block) in out.results {
-                    for (k, x) in block.into_iter().enumerate() {
-                        let (r, c) = part.index_at(k);
-                        result[(r, c)] = x;
-                    }
-                }
-                let root_merge_s = t1.elapsed().as_secs_f64();
-                let trace = self.skeleton_trace(
-                    "build_array2",
-                    Some(root_prep_s),
-                    out.trace,
-                    out.timing.total_s,
-                    Some(root_merge_s),
-                );
-                Run::new(result, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                if self.streamed() {
+                    // Blocks land at disjoint coordinates, so placing each
+                    // as it arrives is byte-identical to the lump placement.
+                    let mut blocks = out.results.into_iter();
+                    let mut result = Array2::zeros(dom.rows, dom.cols);
+                    let (merge_end, merge_busy, spans) =
+                        streamed_merge_clock(&out.arrivals, |_| {
+                            let (part, block) = blocks.next().expect("one block per task");
+                            for (k, x) in block.into_iter().enumerate() {
+                                let (r, c) = part.index_at(k);
+                                result[(r, c)] = x;
+                            }
+                        });
+                    let end_s = out.timing.total_s.max(merge_end);
+                    let trace = self.skeleton_trace_streamed(
+                        "build_array2",
+                        Some(root_prep_s),
+                        out.trace,
+                        end_s,
+                        &spans,
+                    );
+                    Run::new(
+                        result,
+                        RunStats::overlapped(
+                            out.timing,
+                            root_prep_s + merge_busy,
+                            root_prep_s + end_s,
+                        ),
+                    )
                     .with_trace(trace)
+                } else {
+                    let t1 = Instant::now();
+                    let mut result = Array2::zeros(dom.rows, dom.cols);
+                    for (part, block) in out.results {
+                        for (k, x) in block.into_iter().enumerate() {
+                            let (r, c) = part.index_at(k);
+                            result[(r, c)] = x;
+                        }
+                    }
+                    let root_merge_s = t1.elapsed().as_secs_f64();
+                    let trace = self.skeleton_trace(
+                        "build_array2",
+                        Some(root_prep_s),
+                        out.trace,
+                        out.timing.total_s,
+                        Some(root_merge_s),
+                    );
+                    Run::new(result, RunStats::from_dist(out.timing, root_prep_s + root_merge_s))
+                        .with_trace(trace)
+                }
             }
         }
     }
@@ -1204,7 +1453,9 @@ mod tests {
         let run = engine.sum(from_vec(xs.clone()).par());
         assert_eq!(run.value, xs.iter().sum::<i64>());
         let names = run.trace.span_names();
-        for want in ["skeleton:sum", "root:slice", "root:merge", "send", "node:task", "chunk"] {
+        for want in
+            ["skeleton:sum", "root:slice", "root:merge:streamed", "send", "node:task", "chunk"]
+        {
             assert!(names.contains(&want), "missing span {want:?} in {names:?}");
         }
         // The skeleton span opens the trace and covers every other span.
@@ -1223,5 +1474,36 @@ mod tests {
         let engine = Triolet::new(ClusterConfig::virtual_cluster(2, 2).with_trace(true));
         let run = engine.sum(from_vec((0..50i64).collect::<Vec<_>>()));
         assert_eq!(run.trace.span_names(), vec!["skeleton:sum"]);
+    }
+
+    #[test]
+    fn barrier_mode_keeps_lump_merge_span() {
+        let engine = Triolet::new(
+            ClusterConfig::virtual_cluster(3, 2)
+                .with_trace(true)
+                .with_pipeline(PipelineMode::Barrier),
+        );
+        let run = engine.sum(from_vec((0..3000i64).collect::<Vec<_>>()).par());
+        let names = run.trace.span_names();
+        assert!(names.contains(&"root:merge"), "barrier keeps root:merge: {names:?}");
+        assert!(!names.contains(&"root:merge:streamed"), "{names:?}");
+    }
+
+    #[test]
+    fn pipeline_modes_agree_on_skeleton_values() {
+        // One engine-level sanity pass over the order-sensitive skeletons;
+        // the proptest gate covers the space, this pins the obvious cases.
+        let xs: Vec<f64> = (0..2500).map(|i| (i as f64) * 0.37 - 100.0).collect();
+        let s = Triolet::new(ClusterConfig::virtual_cluster(4, 2));
+        let b =
+            Triolet::new(ClusterConfig::virtual_cluster(4, 2).with_pipeline(PipelineMode::Barrier));
+        assert_eq!(
+            s.sum(from_vec(xs.clone()).par()).value.to_bits(),
+            b.sum(from_vec(xs.clone()).par()).value.to_bits(),
+        );
+        assert_eq!(
+            s.build_vec(from_vec(xs.clone()).map(|x: f64| x * 1.5).par()).value,
+            b.build_vec(from_vec(xs).map(|x: f64| x * 1.5).par()).value,
+        );
     }
 }

@@ -58,8 +58,8 @@ pub use run::Run;
 
 // Re-export the substrate crates under the facade.
 pub use triolet_cluster::{
-    Cluster, ClusterConfig, CostModel, DistTiming, ExecMode, FaultPlan, NodeCtx, Topology,
-    TraceData, TraceHandle, Track, TrafficStats,
+    Cluster, ClusterConfig, CostModel, DispatchError, DistTiming, ExecMode, FaultPlan, NodeCtx,
+    PipelineMode, Topology, TraceData, TraceHandle, Track, TrafficStats,
 };
 pub use triolet_domain::{Dim2, Dim2Part, Dim3, Dim3Part, Domain, Part, Seq, SeqPart};
 pub use triolet_iter::{
@@ -76,7 +76,9 @@ pub mod prelude {
     pub use crate::engine::{PackedEnv, Triolet};
     pub use crate::report::RunStats;
     pub use crate::run::Run;
-    pub use triolet_cluster::{ClusterConfig, CostModel, ExecMode, FaultPlan, Topology, TraceData};
+    pub use triolet_cluster::{
+        ClusterConfig, CostModel, ExecMode, FaultPlan, PipelineMode, Topology, TraceData,
+    };
     pub use triolet_domain::{Dim2, Dim3, Domain, Part, Seq};
     pub use triolet_iter::prelude::*;
 }

@@ -60,6 +60,24 @@ impl RunStats {
         }
     }
 
+    /// Combine a distributed timing with root-side work that *overlapped*
+    /// the distributed region (the streamed pipeline's merge): `root_s`
+    /// still reports the root's busy seconds, but the end-to-end total is
+    /// the overlapped makespan rather than their sum.
+    pub fn overlapped(d: DistTiming, root_s: f64, total_s: f64) -> Self {
+        RunStats {
+            total_s,
+            comm_s: d.comm_s,
+            root_s,
+            node_compute_s: d.node_compute_s,
+            bytes_out: d.bytes_out,
+            bytes_back: d.bytes_back,
+            messages: d.messages,
+            retries: d.retries,
+            redispatches: d.redispatches,
+        }
+    }
+
     /// Combine with the stats of a phase that ran *after* this one
     /// (totals add; per-node compute adds elementwise).
     pub fn then(mut self, other: RunStats) -> RunStats {

@@ -5,6 +5,8 @@
 //! grain size, executed with work stealing, with per-task private
 //! accumulation for reductions.
 
+use std::cell::UnsafeCell;
+
 use parking_lot::Mutex;
 use triolet_domain::Part;
 
@@ -116,26 +118,57 @@ fn split_reduce<'scope, P, T, L, M>(
     }
 }
 
+/// Rank-indexed result slots where each task owns exactly one index.
+///
+/// No slot is written twice and no slot is read until the pool scope has
+/// joined every task, so plain unsynchronized writes are sound: the scope
+/// join is the happens-before edge between each write and the final read.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: every cell is written by exactly one task (its own index) and only
+// read after `pool.scope` returns, which joins all tasks.
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        Slots((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Store `value` at `i`. Caller must be the unique writer of slot `i`.
+    unsafe fn fill(&self, i: usize, value: T) {
+        *self.0[i].get() = Some(value);
+    }
+
+    fn into_values(self) -> impl Iterator<Item = T> {
+        self.0.into_iter().map(|c| c.into_inner().expect("every slot filled by its task"))
+    }
+}
+
 /// Run `leaf` over an explicit list of work items in parallel, returning
 /// results in input order. Items are opaque (domain parts, data chunks, …);
 /// used when chunk boundaries must match the virtual-time executor exactly.
+///
+/// Each task writes its result into a slot it exclusively owns, so no lock
+/// is taken per write; ordering comes from the scope join.
 pub fn map_parts_ordered<P, T, L>(pool: &ThreadPool, parts: Vec<P>, leaf: &L) -> Vec<T>
 where
     P: Send,
     T: Send,
     L: Fn(&P) -> T + Sync,
 {
-    let slots: Vec<Mutex<Option<T>>> = parts.iter().map(|_| Mutex::new(None)).collect();
+    let slots = Slots::new(parts.len());
     pool.scope(|s| {
         for (i, p) in parts.into_iter().enumerate() {
             let slots = &slots;
             s.spawn(move |_| {
                 let value = leaf(&p);
-                *slots[i].lock() = Some(value);
+                // SAFETY: task `i` is the only writer of slot `i`, and reads
+                // happen only after the scope joins.
+                unsafe { slots.fill(i, value) };
             });
         }
     });
-    slots.into_iter().map(|m| m.into_inner().expect("every slot filled by its task")).collect()
+    slots.into_values().collect()
 }
 
 #[cfg(test)]

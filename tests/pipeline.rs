@@ -1,0 +1,180 @@
+//! End-to-end gate for the pipelined dispatch path: `PipelineMode::Streamed`
+//! must change *when* the root packs, unpacks, and merges — never *what* any
+//! skeleton returns. Every test here compares a streamed run against the
+//! barrier run of the identical workload: values bit-identical, traffic
+//! accounting equal, and the streamed makespan no worse on workloads with
+//! staggered arrivals.
+
+use std::time::Duration;
+
+use triolet::prelude::*;
+
+const NODES: usize = 6;
+const TPN: usize = 2;
+
+fn rt(mode: PipelineMode) -> Triolet {
+    Triolet::new(ClusterConfig::virtual_cluster(NODES, TPN).with_pipeline(mode))
+}
+
+fn faulty_rt(mode: PipelineMode) -> Triolet {
+    let plan = FaultPlan::seeded(4242)
+        .with_drop(0.12)
+        .with_crash(2)
+        .with_timeout(Duration::from_millis(1));
+    Triolet::new(ClusterConfig::virtual_cluster(NODES, TPN).with_faults(plan).with_pipeline(mode))
+}
+
+/// Traffic must not depend on when the root unpacks.
+fn assert_same_traffic(a: &RunStats, b: &RunStats) {
+    assert_eq!(a.bytes_out, b.bytes_out);
+    assert_eq!(a.bytes_back, b.bytes_back);
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.retries, b.retries);
+    assert_eq!(a.redispatches, b.redispatches);
+}
+
+#[test]
+fn float_sum_is_bit_identical_across_modes() {
+    let xs: Vec<f64> = (0..4096).map(|i| (i as f64) * 0.1 - 200.0).collect();
+    let s = rt(PipelineMode::Streamed).sum(from_vec(xs.clone()).par());
+    let b = rt(PipelineMode::Barrier).sum(from_vec(xs).par());
+    assert_eq!(s.value.to_bits(), b.value.to_bits());
+    assert_same_traffic(&s.stats, &b.stats);
+}
+
+#[test]
+fn non_commutative_fold_is_identical_across_modes() {
+    // Vec concatenation: any merge-order deviation scrambles the output.
+    let xs: Vec<u32> = (0..2000).collect();
+    let run = |mode| {
+        rt(mode).fold_reduce(
+            from_vec(xs.clone()).par(),
+            &(),
+            Vec::new,
+            |(), mut acc: Vec<u32>, x: u32| {
+                acc.push(x.wrapping_mul(2654435761));
+                acc
+            },
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        )
+    };
+    let s = run(PipelineMode::Streamed);
+    let b = run(PipelineMode::Barrier);
+    assert_eq!(s.value, b.value);
+    assert_same_traffic(&s.stats, &b.stats);
+}
+
+#[test]
+fn build_vec_is_identical_across_modes() {
+    let xs: Vec<i64> = (0..3000).map(|i| i * 7 - 99).collect();
+    let s = rt(PipelineMode::Streamed).build_vec(from_vec(xs.clone()).map(|x: i64| x + 1).par());
+    let b = rt(PipelineMode::Barrier).build_vec(from_vec(xs).map(|x: i64| x + 1).par());
+    assert_eq!(s.value, b.value);
+    assert_same_traffic(&s.stats, &b.stats);
+}
+
+#[test]
+fn crash_redispatch_mid_stream_is_identical_across_modes() {
+    // Rank 2 is dead; its tasks redispatch to survivors mid-stream, but
+    // every result must still land in its original rank slot.
+    let xs: Vec<f64> = (0..4096).map(|i| ((i * 31) % 977) as f64 * 0.25).collect();
+    let s = faulty_rt(PipelineMode::Streamed).sum(from_vec(xs.clone()).par());
+    let b = faulty_rt(PipelineMode::Barrier).sum(from_vec(xs.clone()).par());
+    let clean = rt(PipelineMode::Streamed).sum(from_vec(xs).par());
+    assert_eq!(s.value.to_bits(), b.value.to_bits());
+    assert_eq!(s.value.to_bits(), clean.value.to_bits());
+    assert!(s.stats.redispatches > 0, "the crashed rank must force redispatch");
+    assert_same_traffic(&s.stats, &b.stats);
+}
+
+#[test]
+fn streamed_makespan_not_worse_on_staggered_workload() {
+    // Large per-node partials: the barrier path serializes every
+    // unpack+merge after the last arrival, the streamed path hides that
+    // work inside the network tail.
+    let grid = 32_768usize;
+    let xs: Vec<f64> = (0..65_536).map(|i| i as f64).collect();
+    let run = |mode| {
+        rt(mode).fold_reduce(
+            from_vec(xs.clone()).par(),
+            &(),
+            move || vec![0.0f64; grid],
+            |(), mut acc: Vec<f64>, x: f64| {
+                let i = (x as usize) % acc.len();
+                acc[i] += x;
+                acc
+            },
+            |mut a, b| {
+                for (ai, bi) in a.iter_mut().zip(&b) {
+                    *ai += bi;
+                }
+                a
+            },
+        )
+    };
+    let s = run(PipelineMode::Streamed);
+    let b = run(PipelineMode::Barrier);
+    assert_eq!(
+        s.value.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        b.value.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    // Wall-measured unpack/merge times jitter, so allow a small tolerance
+    // rather than demanding strict improvement on every host.
+    assert!(
+        s.stats.total_s <= b.stats.total_s * 1.10,
+        "streamed {} must not be slower than barrier {}",
+        s.stats.total_s,
+        b.stats.total_s
+    );
+}
+
+#[test]
+fn streamed_trace_has_per_task_pipeline_spans() {
+    let xs: Vec<f64> = (0..2048).map(|i| i as f64).collect();
+    let cfg = ClusterConfig::virtual_cluster(NODES, TPN)
+        .with_trace(true)
+        .with_pipeline(PipelineMode::Streamed);
+    let run = Triolet::new(cfg).sum(from_vec(xs).par());
+    let names = run.trace.span_names();
+    assert!(names.contains(&"root:merge:streamed"), "streamed merge spans missing: {names:?}");
+    assert!(names.contains(&"root:pack"));
+    assert!(names.contains(&"root:unpack"));
+    // One pack, one unpack, one merge span per task (span_names dedups,
+    // so count raw spans).
+    let count = |n: &str| run.trace.spans.iter().filter(|s| s.name == n).count();
+    assert_eq!(count("root:pack"), NODES);
+    assert_eq!(count("root:unpack"), NODES);
+    assert_eq!(count("root:merge:streamed"), NODES);
+    assert!(!names.contains(&"root:merge"), "barrier lump merge must not appear: {names:?}");
+}
+
+#[test]
+fn barrier_trace_keeps_lump_spans() {
+    let xs: Vec<f64> = (0..2048).map(|i| i as f64).collect();
+    let cfg = ClusterConfig::virtual_cluster(NODES, TPN)
+        .with_trace(true)
+        .with_pipeline(PipelineMode::Barrier);
+    let run = Triolet::new(cfg).sum(from_vec(xs).par());
+    let names = run.trace.span_names();
+    assert!(names.contains(&"root:merge"));
+    assert!(!names.contains(&"root:merge:streamed"));
+    let count = |n: &str| run.trace.spans.iter().filter(|s| s.name == n).count();
+    assert_eq!(count("root:pack"), 1, "barrier packs in one lump");
+    assert_eq!(count("root:unpack"), 1, "barrier unpacks in one lump");
+}
+
+#[test]
+fn measured_mode_agrees_across_pipeline_modes() {
+    let xs: Vec<i64> = (0..3000).map(|i| i * 13 - 7).collect();
+    let run = |mode| {
+        Triolet::new(ClusterConfig::measured(3, 2).with_pipeline(mode))
+            .sum(from_vec(xs.clone()).par())
+    };
+    let s = run(PipelineMode::Streamed);
+    let b = run(PipelineMode::Barrier);
+    assert_eq!(s.value, b.value);
+    assert_same_traffic(&s.stats, &b.stats);
+}
