@@ -1,0 +1,70 @@
+//! Run the k-means residency ablation from the command line.
+//!
+//! ```text
+//! cargo run --release -p triolet-apps --bin kmeans -- \
+//!     --impl triolet --nodes 8 --threads 4 --points 16384 --k 8 --iters 10
+//! ```
+//!
+//! `--impl triolet` runs over a resident `DistVec` (scatter once);
+//! `--impl lowlevel` is reused here to mean the re-broadcast control arm.
+
+use std::time::Instant;
+
+use triolet_apps::cli::{print_seq_time, print_stats, Impl, Opts};
+use triolet_apps::kmeans;
+
+fn main() {
+    let opts = Opts::parse("kmeans", &[("points", 8192), ("k", 8), ("iters", 10)]);
+    opts.banner("kmeans");
+    let input =
+        kmeans::generate(opts.size("points"), opts.size("k"), opts.size("iters"), opts.seed);
+
+    let centroids = match opts.imp {
+        Impl::Seq => {
+            let t0 = Instant::now();
+            let out = kmeans::run_seq(&input);
+            print_seq_time(t0.elapsed().as_secs_f64());
+            out
+        }
+        Impl::Triolet => {
+            let rt = opts.triolet_rt();
+            let run = kmeans::run_resident(&rt, &input);
+            print_stats(&run.stats);
+            println!(
+                "resident: scatter={}B sweeps={}B ({:.1}B/iter) hits={} misses={}",
+                run.value.scatter_bytes,
+                run.value.sweep_bytes,
+                run.value.bytes_per_iter(),
+                run.stats.resident_hits,
+                run.stats.resident_misses
+            );
+            opts.write_trace(&run.trace);
+            run.value.centroids
+        }
+        Impl::Lowlevel => {
+            let rt = opts.triolet_rt();
+            let run = kmeans::run_rebroadcast(&rt, &input);
+            print_stats(&run.stats);
+            println!(
+                "rebroadcast: sweeps={}B ({:.1}B/iter)",
+                run.value.sweep_bytes,
+                run.value.bytes_per_iter()
+            );
+            opts.write_trace(&run.trace);
+            run.value.centroids
+        }
+        Impl::Eden => {
+            eprintln!("kmeans has no eden variant; use --impl seq|triolet|lowlevel");
+            std::process::exit(2);
+        }
+    };
+    let inertia: f64 = input
+        .points
+        .iter()
+        .map(|&p| {
+            let i = kmeans::nearest(&centroids, p);
+            kmeans::dist2(centroids[i], p)
+        })
+        .sum();
+    println!("k={} iters={} inertia={inertia:.3}", input.k, input.iters);
+}

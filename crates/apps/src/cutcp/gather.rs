@@ -105,7 +105,7 @@ pub fn run_triolet_gather(rt: &Triolet, input: &CutcpInput) -> Run<Vec<f64>> {
     // Flattened grid-point loop (Seq domain keeps build_vec's ordered
     // fragment assembly; index math is cheap next to the bin scans).
     let points = range(dom.count()).par();
-    rt.build_vec_env(points, &bins, move |bins: &AtomBins, k: usize| {
+    rt.build_vec(points, &bins, move |bins: &AtomBins, k: usize| {
         let (ix, iy, iz) = dom.index_at(k);
         let (gx, gy, gz) = (ix as f32 * g.h, iy as f32 * g.h, iz as f32 * g.h);
         let mut v = 0.0f64;

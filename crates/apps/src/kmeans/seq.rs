@@ -1,0 +1,17 @@
+//! Sequential reference implementation: plain Lloyd sweeps over the point
+//! vector, same accumulator layout as the distributed variants.
+
+use super::{accumulate, next_centroids, KmeansInput, ACC_STRIDE};
+
+/// Run `input.iters` Lloyd sweeps sequentially; returns the final centroids.
+pub fn run_seq(input: &KmeansInput) -> Vec<(f64, f64)> {
+    let mut centroids = input.initial_centroids();
+    for _ in 0..input.iters {
+        let mut acc = vec![0.0f64; ACC_STRIDE * input.k];
+        for &p in &input.points {
+            acc = accumulate(&centroids, acc, p);
+        }
+        centroids = next_centroids(&centroids, &acc);
+    }
+    centroids
+}

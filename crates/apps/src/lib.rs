@@ -20,9 +20,14 @@
 //!   traversals feeding histograms, parallel over datasets.
 //! * [`cutcp`] — cutoff Coulombic potential (§4.5): an irregular
 //!   concat-map/filter nest scatter-adding into a large 3-D grid.
+//!
+//! [`kmeans`] is not from the paper's evaluation; it is the iterative
+//! workload the persistent-collection (resident `DistVec`) ablation runs —
+//! the same point set is swept many times, so residency pays off.
 
 pub mod cli;
 pub mod cutcp;
+pub mod kmeans;
 pub mod mriq;
 pub mod sgemm;
 pub mod tpacf;

@@ -20,7 +20,7 @@ pub fn run_triolet(rt: &Triolet, input: &MriqInput) -> Run<MriqOutput> {
     let samples = input.samples();
     let pixels =
         zip3(from_vec(input.x.clone()), from_vec(input.y.clone()), from_vec(input.z.clone())).par();
-    rt.build_vec_env(pixels, &samples, pixel_value).map(|q| {
+    rt.build_vec(pixels, &samples, pixel_value).map(|q| {
         let (qr, qi) = q.into_iter().unzip();
         MriqOutput { qr, qi }
     })
@@ -32,7 +32,7 @@ pub fn run_triolet_localpar(rt: &Triolet, input: &MriqInput) -> Run<MriqOutput> 
     let pixels =
         zip3(from_vec(input.x.clone()), from_vec(input.y.clone()), from_vec(input.z.clone()))
             .localpar();
-    rt.build_vec_env(pixels, &samples, pixel_value).map(|q| {
+    rt.build_vec(pixels, &samples, pixel_value).map(|q| {
         let (qr, qi) = q.into_iter().unzip();
         MriqOutput { qr, qi }
     })

@@ -81,10 +81,15 @@ pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> Run<TpacfOutput> {
         .localpar();
     let dd = rt.histogram(bins, dd_pairs);
 
+    // --- Scatter the random sets once; RR and DR run over the resident
+    // segments, so the datasets cross the wire a single time for both
+    // correlation phases instead of once per phase.
+    let rands = rt.scatter(input.rands.clone());
+
     // --- RR: self-correlation of each random set, par over sets ----------
     let rr_edges = Arc::clone(&edges);
     let rr = rt.fold_reduce(
-        from_vec(input.rands.clone()).par(),
+        &rands.value,
         &(),
         move || CountHist::new(bins),
         move |(), mut h: CountHist, rand: Vec<Point>| {
@@ -102,8 +107,8 @@ pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> Run<TpacfOutput> {
     // skeleton reuses the shared buffer for every node and retransmission.
     let obs_env = rt.pack_env(input.obs.clone());
     let dr_edges = Arc::clone(&edges);
-    let dr = rt.fold_reduce_packed(
-        from_vec(input.rands.clone()).par(),
+    let dr = rt.fold_reduce(
+        &rands.value,
         &obs_env,
         move || CountHist::new(bins),
         move |obs: &Vec<Point>, mut h: CountHist, rand: Vec<Point>| {
@@ -116,9 +121,10 @@ pub fn run_triolet(rt: &Triolet, input: &TpacfInput) -> Run<TpacfOutput> {
         },
     );
 
-    // Three phases back to back: stats add, traces concatenate in time.
-    let stats = dd.stats.then(rr.stats).then(dr.stats);
+    // Four phases back to back: stats add, traces concatenate in time.
+    let stats = dd.stats.then(rands.stats).then(rr.stats).then(dr.stats);
     let mut trace = dd.trace;
+    trace.then(rands.trace);
     trace.then(rr.trace);
     trace.then(dr.trace);
     Run::new(TpacfOutput { dd: dd.value, dr: dr.value.finish(), rr: rr.value.finish() }, stats)

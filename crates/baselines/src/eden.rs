@@ -158,6 +158,7 @@ impl EdenRt {
                 RawTask {
                     wire_bytes,
                     pack_s: 0.0,
+                    resident: None,
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
                         // Leader -> process messages: every task input is
                         // serialized to its worker process (no shared heap).
@@ -224,6 +225,7 @@ impl EdenRt {
                 RawTask {
                     wire_bytes,
                     pack_s: 0.0,
+                    resident: None,
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
                         // Each process receives its own full copy of `data`.
                         let data: D = ctx.sequential(|| {

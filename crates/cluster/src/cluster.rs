@@ -17,7 +17,7 @@ use triolet_serial::{packed, unpack_all, Wire, WireError};
 
 use crate::cost::{CostModel, DistTiming, TrafficStats};
 use crate::fault::FaultPlan;
-use crate::node::{ExecMode, NodeCtx};
+use crate::node::{ExecMode, NodeCtx, ResidentStore};
 use crate::tree;
 
 /// Pseudo-rank of the root in fault-schedule coordinates (the root is not a
@@ -29,6 +29,11 @@ const FWD_TAG: u32 = 0;
 const RET_TAG: u32 = 1;
 /// Fault-schedule tag for the broadcast-environment payload.
 const ENV_TAG: u32 = 2;
+/// Fault-schedule tag for resident-segment scatter payloads.
+const SEG_TAG: u32 = 3;
+/// Attempt cap on scatter edges (like the env/return paths: both endpoints
+/// are treated as alive, so only a near-1.0 drop rate can exhaust this).
+const SEG_ATTEMPT_CAP: u32 = 10_000;
 /// Attempt cap on environment-broadcast edges. Both endpoints of every edge
 /// are alive by construction (participants are executing ranks), so like the
 /// return path this only trips on a near-1.0 drop rate.
@@ -209,6 +214,27 @@ pub struct DistOutcome<R> {
     pub trace: TraceData,
 }
 
+/// A task's claim on a resident segment of a persistent collection.
+///
+/// A task carrying one of these reads its input from node-local storage
+/// rather than a root-shipped payload: dispatched to `home`, it pays zero
+/// input bytes on the wire (a *resident hit*); forced onto any other rank —
+/// a crash redispatch — the dispatcher re-ships the full `seg_bytes` to the
+/// survivor (a *resident miss*), so recovery stays possible and its cost
+/// stays visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentSpec {
+    /// Collection id in the cluster's [`ResidentStore`].
+    pub id: u64,
+    /// Rank holding the segment this task reads.
+    pub home: usize,
+    /// Bytes re-shipped if the task must execute off its home rank.
+    pub seg_bytes: usize,
+    /// Ghost/halo bytes fetched from neighbor segments on *every* call
+    /// (zero for non-halo views).
+    pub halo_bytes: usize,
+}
+
 /// One node's share of a distributed operation, in prepared form: the
 /// payload size it would occupy on the wire plus the work to run on the node.
 pub struct RawTask<'a, R> {
@@ -219,8 +245,39 @@ pub struct RawTask<'a, R> {
     /// `PipelineMode::Streamed` (so later packs overlap earlier nodes'
     /// compute) and as one prologue lump under `Barrier`.
     pub pack_s: f64,
+    /// Resident-segment claim: `Some` routes the task to the segment's home
+    /// rank and makes its input bytes placement-dependent (zero on a hit,
+    /// `seg_bytes` on a redispatch); `None` is the ordinary ship-the-slice
+    /// path.
+    pub resident: Option<ResidentSpec>,
     /// The node task; must route compute through the [`NodeCtx`].
     pub work: Box<dyn FnOnce(&NodeCtx<'_>) -> R + Send + 'a>,
+}
+
+impl<'a, R> RawTask<'a, R> {
+    /// Input bytes this task puts on the wire for a hop targeting `dest`.
+    ///
+    /// Ordinary tasks ship `wire_bytes` to every candidate rank. Resident
+    /// tasks ship only halo bytes to their home rank and additionally the
+    /// full segment to anyone else.
+    fn hop_bytes(&self, dest: usize) -> usize {
+        match self.resident {
+            None => self.wire_bytes,
+            Some(spec) => {
+                let base = self.wire_bytes + spec.halo_bytes;
+                if dest == spec.home {
+                    base
+                } else {
+                    base + spec.seg_bytes
+                }
+            }
+        }
+    }
+
+    /// The rank this task is routed to first (its home).
+    fn home(&self, i: usize) -> usize {
+        self.resident.map_or(i, |spec| spec.home)
+    }
 }
 
 /// How one task's payload traveled from the root: one entry per rank tried.
@@ -263,15 +320,18 @@ struct ReturnRoute {
 }
 
 /// Decide, purely from the fault schedule, where task `i` ends up running.
-/// Candidates are tried in order: the task's home rank `i` first, then the
-/// surviving ranks after it (wrapping), each with the plan's full retry
-/// budget. Moving to the next candidate is one redispatch.
-fn plan_route(plan: &FaultPlan, n_nodes: usize, i: usize) -> TaskRoute {
+/// Candidates are tried in order: the task's `home` rank first (its index
+/// for ordinary tasks, its resident segment's rank for resident ones), then
+/// the surviving ranks after it (wrapping), each with the plan's full retry
+/// budget. Moving to the next candidate is one redispatch. The fault
+/// schedule is keyed on the task index `i`, not the home rank, so a
+/// resident and a re-broadcast run of the same call see the same faults.
+fn plan_route(plan: &FaultPlan, n_nodes: usize, home: usize, i: usize) -> TaskRoute {
     if !plan.is_active() {
         return TaskRoute {
-            exec: i,
+            exec: home,
             hops: vec![Hop {
-                dest: i,
+                dest: home,
                 attempts: 1,
                 dups: 0,
                 drops: 0,
@@ -282,9 +342,9 @@ fn plan_route(plan: &FaultPlan, n_nodes: usize, i: usize) -> TaskRoute {
             redispatches: 0,
         };
     }
-    let mut candidates = vec![i];
+    let mut candidates = vec![home];
     for off in 1..n_nodes {
-        let r = (i + off) % n_nodes;
+        let r = (home + off) % n_nodes;
         if !plan.crashed(r) {
             candidates.push(r);
         }
@@ -445,6 +505,7 @@ pub struct Cluster {
     config: ClusterConfig,
     pools: Vec<ThreadPool>,
     stats: TrafficStats,
+    resident: ResidentStore,
 }
 
 impl Cluster {
@@ -457,7 +518,7 @@ impl Cluster {
             }
             ExecMode::Virtual => Vec::new(),
         };
-        Cluster { config, pools, stats: TrafficStats::new() }
+        Cluster { config, pools, stats: TrafficStats::new(), resident: ResidentStore::new() }
     }
 
     /// The cluster's configuration.
@@ -478,6 +539,131 @@ impl Cluster {
     /// Cumulative traffic counters.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// The node-local store tracking resident collection segments.
+    pub fn resident_store(&self) -> &ResidentStore {
+        &self.resident
+    }
+
+    /// Scatter the segments of a persistent collection to their home ranks:
+    /// one `(rank, bytes)` send per segment, serialized on the root NIC,
+    /// each retrying through the fault schedule until delivered intact.
+    ///
+    /// This is the *one-time* placement cost of a resident collection; every
+    /// later skeleton call over it ships zero input bytes (see
+    /// [`ResidentSpec`]). Segments land in the [`ResidentStore`] and each
+    /// send is counted in [`TrafficStats::seg_scatters`] — deliberately not
+    /// in `env_packs`, so environment accounting never double-counts the
+    /// scatter. Returns the modeled timing and a trace rooted at a
+    /// `dist:scatter` span.
+    pub fn scatter_segments(&self, id: u64, segs: &[(usize, usize)]) -> (DistTiming, TraceData) {
+        let plan = self.config.faults;
+        let cost = self.config.cost;
+        let timeout_s = plan.timeout.as_secs_f64();
+        let tr = if self.config.trace { TraceHandle::recording() } else { TraceHandle::disabled() };
+        let mut clock = 0.0f64;
+        let mut comm_s = 0.0f64;
+        let mut bytes_out = 0u64;
+        let mut messages = 0u64;
+        let mut retries = 0u64;
+        for &(rank, bytes) in segs {
+            self.resident.register(id, rank, bytes);
+            self.stats.record_seg_scatter();
+            // Plan the edge like an env edge: both endpoints treated alive
+            // (crash interaction happens at *call* time, via redispatch).
+            let mut attempts = 0u32;
+            let mut dups = 0u32;
+            let mut drops = 0u32;
+            let mut corrupts = 0u32;
+            for attempt in 0..SEG_ATTEMPT_CAP {
+                attempts += 1;
+                if !plan.is_active() {
+                    break;
+                }
+                let d = plan.decide(ROOT, rank, SEG_TAG, rank as u64, attempt);
+                if !d.deliver {
+                    drops += 1;
+                    continue;
+                }
+                if d.duplicate {
+                    dups += 1;
+                }
+                if d.corrupt {
+                    corrupts += 1;
+                    continue;
+                }
+                break;
+            }
+            let copies = (attempts + dups) as u64;
+            for _ in 0..copies {
+                self.stats.record(bytes);
+            }
+            for _ in 0..drops {
+                self.stats.record_dropped();
+            }
+            for _ in 0..corrupts {
+                self.stats.record_corrupted();
+            }
+            for _ in 0..dups {
+                self.stats.record_duplicated();
+            }
+            let failed = (attempts - 1) as u64;
+            for _ in 0..failed {
+                self.stats.record_retry();
+            }
+            messages += copies;
+            bytes_out += bytes as u64 * copies;
+            retries += failed;
+            let dt = cost.transfer_time(bytes);
+            let edge_s = dt * copies as f64 + timeout_s * failed as f64;
+            if tr.enabled() {
+                tr.span(
+                    "send",
+                    "comm",
+                    Track::Root,
+                    clock,
+                    clock + edge_s,
+                    vec![
+                        ("seg", id.into()),
+                        ("dest", rank.into()),
+                        ("bytes", bytes.into()),
+                        ("attempts", (attempts as u64).into()),
+                    ],
+                );
+            }
+            clock += edge_s;
+            comm_s += edge_s;
+        }
+        if tr.enabled() {
+            tr.span(
+                "dist:scatter",
+                "dist",
+                Track::Root,
+                0.0,
+                clock,
+                vec![
+                    ("seg", id.into()),
+                    ("segments", segs.len().into()),
+                    ("bytes", bytes_out.into()),
+                ],
+            );
+        }
+        (
+            DistTiming {
+                total_s: clock,
+                comm_s,
+                node_compute_s: vec![0.0; self.config.nodes],
+                bytes_out,
+                bytes_back: 0,
+                messages,
+                retries,
+                redispatches: 0,
+                resident_hits: 0,
+                resident_misses: 0,
+            },
+            tr.take(),
+        )
     }
 
     /// Scatter `payloads` (one per node, at most `nodes()`), run `task` on
@@ -529,6 +715,7 @@ impl Cluster {
                 RawTask {
                     wire_bytes: msg.len(),
                     pack_s,
+                    resident: None,
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
                         // Deserialization happens on the node: charge it.
                         let payload: T =
@@ -654,17 +841,26 @@ impl Cluster {
                 "fault plan crashes every node: nothing can recover"
             );
         }
-        let routes: Vec<TaskRoute> = (0..n_tasks).map(|i| plan_route(&plan, n_nodes, i)).collect();
+        let routes: Vec<TaskRoute> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| plan_route(&plan, n_nodes, t.home(i), i))
+            .collect();
 
         // Forward-path traffic and fault-event accounting (mode-independent:
         // the schedule, not the executor, decides what happens on the wire).
+        // Resident tasks pay per-hop bytes: the control descriptor (plus any
+        // halo) to the home rank, the full segment only when redispatch
+        // forces execution off-home.
         let mut bytes_out = 0u64;
         let mut messages = 0u64;
         let mut retries = 0u64;
         let mut redispatches = 0u64;
+        let mut resident_hits = 0u64;
+        let mut resident_misses = 0u64;
         for (t, route) in tasks.iter().zip(&routes) {
-            let w = t.wire_bytes;
             for hop in &route.hops {
+                let w = t.hop_bytes(hop.dest);
                 let copies = (hop.attempts + hop.dups) as u64;
                 for _ in 0..copies {
                     self.stats.record(w);
@@ -689,6 +885,15 @@ impl Cluster {
             }
             retries += route.retries;
             redispatches += route.redispatches;
+            if let Some(spec) = t.resident {
+                if route.exec == spec.home {
+                    self.stats.record_resident_hit();
+                    resident_hits += 1;
+                } else {
+                    self.stats.record_resident_miss();
+                    resident_misses += 1;
+                }
+            }
         }
 
         // Environment broadcast: one shared payload reaches every executing
@@ -815,8 +1020,9 @@ impl Cluster {
                         );
                         clock += t.pack_s;
                     }
-                    let dt = cost.transfer_time(t.wire_bytes);
                     for (h, hop) in route.hops.iter().enumerate() {
+                        let hop_bytes = t.hop_bytes(hop.dest);
+                        let dt = cost.transfer_time(hop_bytes);
                         let hop_start = clock;
                         let hop_s = dt * (hop.attempts + hop.dups) as f64
                             + timeout_s * hop.failed_attempts() as f64;
@@ -832,7 +1038,7 @@ impl Cluster {
                                 vec![
                                     ("task", i.into()),
                                     ("dest", hop.dest.into()),
-                                    ("bytes", t.wire_bytes.into()),
+                                    ("bytes", hop_bytes.into()),
                                     ("attempts", (hop.attempts as u64).into()),
                                 ],
                             );
@@ -866,6 +1072,27 @@ impl Cluster {
                                     ],
                                 );
                             }
+                        }
+                    }
+                    if tr.enabled() {
+                        if let Some(spec) = t.resident {
+                            let name = if routes[i].exec == spec.home {
+                                "dist:resident-hit"
+                            } else {
+                                "dist:resident-miss"
+                            };
+                            tr.event(
+                                name,
+                                "dist",
+                                Track::Root,
+                                clock,
+                                vec![
+                                    ("task", i.into()),
+                                    ("seg", spec.id.into()),
+                                    ("home", spec.home.into()),
+                                    ("exec", routes[i].exec.into()),
+                                ],
+                            );
                         }
                     }
                     send_done.push(clock);
@@ -1065,6 +1292,8 @@ impl Cluster {
                         messages,
                         retries,
                         redispatches,
+                        resident_hits,
+                        resident_misses,
                     },
                 })
             }
@@ -1121,7 +1350,7 @@ impl Cluster {
                                 vec![
                                     ("task", i.into()),
                                     ("dest", hop.dest.into()),
-                                    ("bytes", t.wire_bytes.into()),
+                                    ("bytes", t.hop_bytes(hop.dest).into()),
                                     ("attempts", (hop.attempts as u64).into()),
                                 ],
                             );
@@ -1153,6 +1382,25 @@ impl Cluster {
                                     ],
                                 );
                             }
+                        }
+                        if let Some(spec) = t.resident {
+                            let name = if route.exec == spec.home {
+                                "dist:resident-hit"
+                            } else {
+                                "dist:resident-miss"
+                            };
+                            tr.event(
+                                name,
+                                "dist",
+                                Track::Root,
+                                prep_off,
+                                vec![
+                                    ("task", i.into()),
+                                    ("seg", spec.id.into()),
+                                    ("home", spec.home.into()),
+                                    ("exec", route.exec.into()),
+                                ],
+                            );
                         }
                     }
                 }
@@ -1325,6 +1573,8 @@ impl Cluster {
                         messages,
                         retries,
                         redispatches,
+                        resident_hits,
+                        resident_misses,
                     },
                 })
             }

@@ -56,6 +56,9 @@ pub struct TrafficStats {
     retries: AtomicU64,
     redispatches: AtomicU64,
     env_packs: AtomicU64,
+    seg_scatters: AtomicU64,
+    resident_hits: AtomicU64,
+    resident_misses: AtomicU64,
 }
 
 impl TrafficStats {
@@ -102,6 +105,26 @@ impl TrafficStats {
         self.env_packs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one resident segment scattered to its home rank. Deliberately
+    /// separate from [`record_env_pack`](Self::record_env_pack): the initial
+    /// scatter of a persistent collection is *not* an environment pack, so
+    /// `env_packs` never double-counts it.
+    pub fn record_seg_scatter(&self) {
+        self.seg_scatters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one task that executed on the rank already holding its
+    /// resident segment (no input bytes shipped).
+    pub fn record_resident_hit(&self) {
+        self.resident_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one resident task forced off its home rank (crash/redispatch):
+    /// the segment was re-shipped to the surviving executor.
+    pub fn record_resident_miss(&self) {
+        self.resident_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Messages recorded so far.
     pub fn messages(&self) -> u64 {
         self.msgs.load(Ordering::Relaxed)
@@ -142,6 +165,21 @@ impl TrafficStats {
         self.env_packs.load(Ordering::Relaxed)
     }
 
+    /// Resident segments scattered so far.
+    pub fn seg_scatters(&self) -> u64 {
+        self.seg_scatters.load(Ordering::Relaxed)
+    }
+
+    /// Resident tasks that ran on their segment's home rank.
+    pub fn resident_hits(&self) -> u64 {
+        self.resident_hits.load(Ordering::Relaxed)
+    }
+
+    /// Resident tasks redispatched off their home rank (segment re-shipped).
+    pub fn resident_misses(&self) -> u64 {
+        self.resident_misses.load(Ordering::Relaxed)
+    }
+
     /// Zero the counters (between experiments).
     pub fn reset(&self) {
         self.msgs.store(0, Ordering::Relaxed);
@@ -152,6 +190,9 @@ impl TrafficStats {
         self.retries.store(0, Ordering::Relaxed);
         self.redispatches.store(0, Ordering::Relaxed);
         self.env_packs.store(0, Ordering::Relaxed);
+        self.seg_scatters.store(0, Ordering::Relaxed);
+        self.resident_hits.store(0, Ordering::Relaxed);
+        self.resident_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -175,6 +216,10 @@ pub struct DistTiming {
     pub retries: u64,
     /// Tasks re-sent to a surviving rank after a failure (0 without faults).
     pub redispatches: u64,
+    /// Resident tasks that executed on their segment's home rank.
+    pub resident_hits: u64,
+    /// Resident tasks whose segment had to be re-shipped to a survivor.
+    pub resident_misses: u64,
 }
 
 impl DistTiming {
@@ -240,6 +285,8 @@ mod tests {
             messages: 0,
             retries: 0,
             redispatches: 0,
+            resident_hits: 0,
+            resident_misses: 0,
         };
         assert_eq!(t.compute_span_s(), 0.9);
     }

@@ -37,10 +37,11 @@ pub mod node;
 pub mod tree;
 
 pub use cluster::{
-    Cluster, ClusterConfig, DispatchError, DistOutcome, PipelineMode, RawTask, Topology,
+    Cluster, ClusterConfig, DispatchError, DistOutcome, PipelineMode, RawTask, ResidentSpec,
+    Topology,
 };
 pub use comm::{Comm, CommError, CommHandle, REPLY_TAG_BIT};
 pub use cost::{CostModel, DistTiming, TrafficStats};
 pub use fault::{FaultDecision, FaultPlan};
-pub use node::{ExecMode, NodeCtx};
+pub use node::{ExecMode, NodeCtx, ResidentStore};
 pub use triolet_obs::{TraceData, TraceHandle, Track};

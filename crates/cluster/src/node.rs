@@ -1,6 +1,9 @@
 //! Per-node execution context: where two-level parallelism meets the clock.
 
 use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use triolet_obs::{TraceData, TraceHandle, Track};
@@ -15,6 +18,83 @@ pub enum ExecMode {
     Measured,
     /// Sequential execution, virtual-time modeling of `threads` workers.
     Virtual,
+}
+
+/// Node-local storage for persistent distributed collections.
+///
+/// When the engine scatters a `DistVec`, each segment is registered here
+/// under a `(collection id, rank)` key with the byte size it occupies in
+/// that rank's memory. The registry is the cluster's source of truth for
+/// *placement*: a dispatched task tagged with a resident segment pays zero
+/// forward bytes when its executing rank matches the segment's home entry,
+/// and a full re-ship when a crash forces it onto a survivor. Dropping a
+/// collection evicts its segments (the node-side `free`).
+#[derive(Debug, Default)]
+pub struct ResidentStore {
+    next_id: AtomicU64,
+    /// `(collection id, rank)` -> resident bytes on that rank.
+    segments: Mutex<HashMap<(u64, usize), usize>>,
+}
+
+impl ResidentStore {
+    /// Fresh empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a collection id (unique within this cluster).
+    pub fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register one segment of collection `id` as resident on `rank`.
+    pub fn register(&self, id: u64, rank: usize, bytes: usize) {
+        self.segments.lock().expect("resident store poisoned").insert((id, rank), bytes);
+    }
+
+    /// Does `rank` hold a segment of collection `id`?
+    pub fn holds(&self, id: u64, rank: usize) -> bool {
+        self.segments.lock().expect("resident store poisoned").contains_key(&(id, rank))
+    }
+
+    /// Bytes of collection `id` resident on `rank` (0 if absent).
+    pub fn segment_bytes(&self, id: u64, rank: usize) -> usize {
+        self.segments
+            .lock()
+            .expect("resident store poisoned")
+            .get(&(id, rank))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total resident bytes on `rank` across all collections.
+    pub fn bytes_on(&self, rank: usize) -> usize {
+        self.segments
+            .lock()
+            .expect("resident store poisoned")
+            .iter()
+            .filter(|((_, r), _)| *r == rank)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Total resident bytes across the cluster.
+    pub fn total_bytes(&self) -> usize {
+        self.segments.lock().expect("resident store poisoned").values().sum()
+    }
+
+    /// Number of registered segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.lock().expect("resident store poisoned").len()
+    }
+
+    /// Evict every segment of collection `id`, returning the bytes freed.
+    pub fn evict(&self, id: u64) -> usize {
+        let mut map = self.segments.lock().expect("resident store poisoned");
+        let freed: usize = map.iter().filter(|((i, _), _)| *i == id).map(|(_, b)| *b).sum();
+        map.retain(|(i, _), _| *i != id);
+        freed
+    }
 }
 
 /// The context a node task receives: its rank, its (real or modeled) thread

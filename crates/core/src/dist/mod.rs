@@ -1,0 +1,26 @@
+//! Distributed data: partitionable iterators, persistent collections, and
+//! the unified skeleton-input abstraction.
+//!
+//! Three layers build on each other:
+//!
+//! * [`DistIter`] — iterators whose outer loop can be partitioned and whose
+//!   data sources can be sliced per part (the paper's §3.2/§3.5 machinery).
+//! * [`DistVec`] / [`DistArray2`] — *persistent* collections whose segments
+//!   are scattered once ([`Triolet::scatter`](crate::Triolet::scatter)) and
+//!   stay resident in node-local stores across skeleton calls, with views
+//!   ([`DistVec::slice`], [`DistVec::zip`], [`DistVec::enumerate`],
+//!   [`DistVec::halo`]) that describe per-rank subranges without moving data.
+//! * [`IntoDistInput`] / [`AsEnv`] — the unified input abstraction: every
+//!   skeleton entry point has exactly one signature, accepting a local
+//!   iterator, a resident collection view, and either a plain `&E`
+//!   environment or a pre-packed [`PackedEnv`].
+
+mod input;
+mod iter;
+mod vec;
+
+pub(crate) use input::EnvArg;
+pub use input::{AsEnv, DistInput, IntoDistInput, PackedEnv, ResidentPart, ResidentRun};
+pub use iter::DistIter;
+pub(crate) use vec::Seg;
+pub use vec::{DistArray2, DistVec, EnumView, HaloView, RowsView, SliceView, ZipView};

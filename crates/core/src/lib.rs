@@ -51,8 +51,11 @@ pub mod engine;
 pub mod report;
 pub mod run;
 
-pub use dist::DistIter;
-pub use engine::{PackedEnv, Triolet};
+pub use dist::{
+    AsEnv, DistArray2, DistInput, DistIter, DistVec, EnumView, HaloView, IntoDistInput, PackedEnv,
+    ResidentPart, ResidentRun, RowsView, SliceView, ZipView,
+};
+pub use engine::Triolet;
 pub use report::RunStats;
 pub use run::Run;
 
@@ -72,8 +75,8 @@ pub use triolet_serial::Wire;
 
 /// Everything an application typically needs.
 pub mod prelude {
-    pub use crate::dist::DistIter;
-    pub use crate::engine::{PackedEnv, Triolet};
+    pub use crate::dist::{AsEnv, DistArray2, DistIter, DistVec, IntoDistInput, PackedEnv};
+    pub use crate::engine::Triolet;
     pub use crate::report::RunStats;
     pub use crate::run::Run;
     pub use triolet_cluster::{

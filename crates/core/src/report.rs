@@ -27,6 +27,10 @@ pub struct RunStats {
     pub retries: u64,
     /// Tasks moved to a surviving node after a failure (0 without faults).
     pub redispatches: u64,
+    /// Resident tasks that executed on their segment's home rank.
+    pub resident_hits: u64,
+    /// Resident tasks whose segment was re-shipped to a survivor.
+    pub resident_misses: u64,
 }
 
 impl RunStats {
@@ -42,6 +46,8 @@ impl RunStats {
             messages: 0,
             retries: 0,
             redispatches: 0,
+            resident_hits: 0,
+            resident_misses: 0,
         }
     }
 
@@ -57,6 +63,8 @@ impl RunStats {
             messages: d.messages,
             retries: d.retries,
             redispatches: d.redispatches,
+            resident_hits: d.resident_hits,
+            resident_misses: d.resident_misses,
         }
     }
 
@@ -75,6 +83,8 @@ impl RunStats {
             messages: d.messages,
             retries: d.retries,
             redispatches: d.redispatches,
+            resident_hits: d.resident_hits,
+            resident_misses: d.resident_misses,
         }
     }
 
@@ -89,6 +99,8 @@ impl RunStats {
         self.messages += other.messages;
         self.retries += other.retries;
         self.redispatches += other.redispatches;
+        self.resident_hits += other.resident_hits;
+        self.resident_misses += other.resident_misses;
         if self.node_compute_s.len() < other.node_compute_s.len() {
             self.node_compute_s.resize(other.node_compute_s.len(), 0.0);
         }
@@ -136,6 +148,8 @@ mod tests {
             messages: 4,
             retries: 3,
             redispatches: 1,
+            resident_hits: 0,
+            resident_misses: 0,
         };
         let s = RunStats::from_dist(d, 0.25);
         assert!((s.total_s - 2.25).abs() < 1e-12);

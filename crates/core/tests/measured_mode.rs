@@ -24,7 +24,7 @@ fn all_consumers_agree_with_sequential() {
     let mx = rt.max(from_vec(xs.clone()).par());
     assert_eq!(mx.value, xs.iter().copied().max());
 
-    let v = rt.build_vec(from_vec(xs.clone()).map(|x: i64| x * 2).par());
+    let v = rt.build_vec(from_vec(xs.clone()).map(|x: i64| x * 2).par(), &(), |_, x| x);
     assert_eq!(v.value, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
 
     let hist = rt.histogram(64, from_vec(xs.clone()).map(|x: i64| x.rem_euclid(64) as usize).par());
@@ -48,8 +48,7 @@ fn build_array2_measured() {
 fn env_skeletons_measured() {
     let rt = measured(2, 2);
     let weights: Vec<f64> = (0..32).map(|i| i as f64 * 0.25).collect();
-    let v =
-        rt.build_vec_env(range(200), &weights, |w: &Vec<f64>, i: usize| w[i % w.len()] * i as f64);
+    let v = rt.build_vec(range(200), &weights, |w: &Vec<f64>, i: usize| w[i % w.len()] * i as f64);
     let expect: Vec<f64> = (0..200).map(|i| weights[i % 32] * i as f64).collect();
     assert_eq!(v.value, expect);
 

@@ -28,7 +28,7 @@ fn main() {
 
     // [sum(ftcoeff(k, r) for k in ks) for r in par(zip3(x, y, z))]
     let pixels = zip3(from_vec(x), from_vec(y), from_vec(z)).par();
-    let run = rt.build_vec_env(
+    let run = rt.build_vec(
         pixels,
         &samples,
         |samples: &Vec<(f32, f32, f32, f32)>, (x, y, z): (f32, f32, f32)| {

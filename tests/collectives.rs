@@ -51,7 +51,7 @@ fn packed_environment_is_reused_across_calls() {
     let rt = Triolet::new(ClusterConfig::virtual_cluster(4, TPN));
     let packed = rt.pack_env(env);
     for _phase in 0..3 {
-        let run = rt.fold_reduce_packed(
+        let run = rt.fold_reduce(
             from_vec(xs.clone()).par(),
             &packed,
             || 0.0f64,

@@ -105,8 +105,10 @@ fn build_vec_preserves_order_under_faults() {
     // Order preservation is the hard case: a redispatched fragment is
     // computed on the "wrong" rank but must still land in its own slot.
     let xs: Vec<u32> = (0..2048).map(|i| (i * 2654435761u64 % 100_000) as u32).collect();
-    let clean = clean_rt().build_vec(from_vec(xs.clone()).map(|x: u32| x as u64 * 3).par());
-    let faulty = faulty_rt().build_vec(from_vec(xs).map(|x: u32| x as u64 * 3).par());
+    let clean =
+        clean_rt().build_vec(from_vec(xs.clone()).map(|x: u32| x as u64 * 3).par(), &(), |_, x| x);
+    let faulty =
+        faulty_rt().build_vec(from_vec(xs).map(|x: u32| x as u64 * 3).par(), &(), |_, x| x);
     assert_eq!(clean.value, faulty.value, "build_vec order or contents changed under faults");
     assert_recovered(&faulty.stats);
 }

@@ -70,8 +70,13 @@ fn non_commutative_fold_is_identical_across_modes() {
 #[test]
 fn build_vec_is_identical_across_modes() {
     let xs: Vec<i64> = (0..3000).map(|i| i * 7 - 99).collect();
-    let s = rt(PipelineMode::Streamed).build_vec(from_vec(xs.clone()).map(|x: i64| x + 1).par());
-    let b = rt(PipelineMode::Barrier).build_vec(from_vec(xs).map(|x: i64| x + 1).par());
+    let s = rt(PipelineMode::Streamed).build_vec(
+        from_vec(xs.clone()).map(|x: i64| x + 1).par(),
+        &(),
+        |_, x| x,
+    );
+    let b =
+        rt(PipelineMode::Barrier).build_vec(from_vec(xs).map(|x: i64| x + 1).par(), &(), |_, x| x);
     assert_eq!(s.value, b.value);
     assert_same_traffic(&s.stats, &b.stats);
 }

@@ -29,6 +29,8 @@ fn map_filter_map_chain_equals_naive() {
     // Fused pipeline, distributed materialization.
     let dist = rt(4, 2).build_vec(
         from_vec(xs).map(|x: i64| x * 3).filter(|v: &i64| v % 2 == 0).map(|v: i64| v + 1).par(),
+        &(),
+        |_, x| x,
     );
     assert_eq!(dist.value, naive);
 }

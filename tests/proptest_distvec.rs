@@ -1,0 +1,144 @@
+//! Property-based gate for resident execution: for random data, random
+//! cluster shapes, either topology, either pipeline mode, and seeded fault
+//! schedules (including whole-rank crashes that force resident segments to
+//! re-ship), a skeleton over a resident `DistVec` must be **bit-identical**
+//! to the same skeleton over a re-broadcast iterator.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use triolet::prelude::*;
+
+fn cluster_shapes() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=8, 1usize..=4)
+}
+
+/// The shimmed proptest has no `prop_oneof`; decode a selector integer:
+/// bit 0 picks the topology, bit 1 the pipeline mode.
+fn shape_from(sel: u64) -> (Topology, PipelineMode) {
+    let topology = if sel & 1 == 0 { Topology::Linear } else { Topology::Tree };
+    let pipeline = if sel & 2 == 0 { PipelineMode::Barrier } else { PipelineMode::Streamed };
+    (topology, pipeline)
+}
+
+/// `None` => fault-free; `Some((seed, crash))` => seeded drops plus an
+/// optional whole-rank crash (crash rank 0 is the root's own node and the
+/// redispatch target of last resort, so crashes hit ranks 1+).
+fn fault_plans() -> impl Strategy<Value = Option<(u64, Option<usize>)>> {
+    proptest::option::of((0u64..1000, proptest::option::of(1usize..8)))
+}
+
+fn config(
+    nodes: usize,
+    tpn: usize,
+    topology: Topology,
+    pipeline: PipelineMode,
+    faults: &Option<(u64, Option<usize>)>,
+) -> ClusterConfig {
+    let mut cfg =
+        ClusterConfig::virtual_cluster(nodes, tpn).with_topology(topology).with_pipeline(pipeline);
+    if let Some((seed, crash)) = faults {
+        let mut plan =
+            FaultPlan::seeded(*seed).with_drop(0.12).with_timeout(Duration::from_millis(1));
+        if let Some(rank) = crash {
+            if *rank < nodes {
+                plan = plan.with_crash(*rank);
+            }
+        }
+        cfg = cfg.with_faults(plan);
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// f64 sums: addition is not associative in floating point, so bit
+    /// equality here proves resident chunking replays the iterator
+    /// chunking exactly.
+    #[test]
+    fn resident_f64_fold_is_bit_identical(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..400),
+        (nodes, tpn) in cluster_shapes(),
+        sel in 0u64..4,
+        faults in fault_plans(),
+    ) {
+        let (topology, pipeline) = shape_from(sel);
+        let rt = Triolet::new(config(nodes, tpn, topology, pipeline, &faults));
+        let fold = |input: DistInputOf<f64>, rt: &Triolet| {
+            match input {
+                DistInputOf::Resident(dv) => rt.fold_reduce(
+                    &dv, &(), || 0.0f64, |(), a, x: f64| a + x * 0.5 + 1.0, |a, b| a + b,
+                ),
+                DistInputOf::Iter(xs) => rt.fold_reduce(
+                    from_vec(xs).par(), &(), || 0.0f64, |(), a, x: f64| a + x * 0.5 + 1.0,
+                    |a, b| a + b,
+                ),
+            }
+        };
+        let dv = rt.scatter(xs.clone()).value;
+        let resident = fold(DistInputOf::Resident(dv), &rt);
+        let rebroadcast = fold(DistInputOf::Iter(xs), &rt);
+        prop_assert_eq!(resident.value.to_bits(), rebroadcast.value.to_bits());
+        if faults.is_none() {
+            prop_assert_eq!(resident.stats.bytes_out, 0);
+            prop_assert_eq!(resident.stats.resident_misses, 0);
+        }
+    }
+
+    /// A non-commutative merge (list concatenation): resident execution
+    /// must preserve global element order exactly, even when a crashed
+    /// rank forces its segment to re-ship and re-run elsewhere.
+    #[test]
+    fn resident_concat_fold_preserves_order(
+        xs in proptest::collection::vec(any::<u32>(), 1..300),
+        (nodes, tpn) in cluster_shapes(),
+        sel in 0u64..4,
+        faults in fault_plans(),
+    ) {
+        let (topology, pipeline) = shape_from(sel);
+        let rt = Triolet::new(config(nodes, tpn, topology, pipeline, &faults));
+        let concat = |rt: &Triolet, dv: &DistVec<u32>| {
+            rt.fold_reduce(
+                dv,
+                &(),
+                Vec::new,
+                |(), mut acc: Vec<u32>, x: u32| { acc.push(x); acc },
+                |mut a, mut b| { a.append(&mut b); a },
+            )
+        };
+        let dv = rt.scatter(xs.clone()).value;
+        let got = concat(&rt, &dv);
+        prop_assert_eq!(got.value, xs);
+    }
+
+    /// build_vec over resident segments and views preserves order under
+    /// every shape.
+    #[test]
+    fn resident_build_vec_matches_map(
+        xs in proptest::collection::vec(any::<u32>(), 1..300),
+        (nodes, tpn) in cluster_shapes(),
+        sel in 0u64..4,
+        faults in fault_plans(),
+    ) {
+        let (topology, pipeline) = shape_from(sel);
+        let rt = Triolet::new(config(nodes, tpn, topology, pipeline, &faults));
+        let dv = rt.scatter(xs.clone()).value;
+        let got = rt.build_vec(&dv, &(), |_, x: u32| x as u64 * 3 + 1);
+        let expect: Vec<u64> = xs.iter().map(|&x| x as u64 * 3 + 1).collect();
+        prop_assert_eq!(got.value, expect);
+
+        let lo = xs.len() / 4;
+        let hi = xs.len() - xs.len() / 4;
+        let got = rt.build_vec(dv.slice(lo..hi), &(), |_, x: u32| x as u64 + 9);
+        let expect: Vec<u64> = xs[lo..hi].iter().map(|&x| x as u64 + 9).collect();
+        prop_assert_eq!(got.value, expect);
+    }
+}
+
+/// Helper enum so one closure body drives both arms (keeps the step
+/// expressions textually identical, which is the point of the test).
+enum DistInputOf<T> {
+    Resident(DistVec<T>),
+    Iter(Vec<T>),
+}

@@ -59,7 +59,7 @@ proptest! {
     ) {
         let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, tpn));
         let expect: Vec<u64> = xs.iter().map(|&x| x as u64 + 7).collect();
-        let got = rt.build_vec(from_vec(xs).map(|x: u32| x as u64 + 7).par());
+        let got = rt.build_vec(from_vec(xs).map(|x: u32| x as u64 + 7).par(), &(), |_, x| x);
         prop_assert_eq!(got.value, expect);
     }
 

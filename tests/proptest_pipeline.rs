@@ -125,6 +125,8 @@ proptest! {
                 from_vec(xs.clone())
                     .concat_map(move |x: u64| triolet::StepFlat::new(0..(x % width as u64)))
                     .par(),
+                &(),
+                |_, x| x,
             )
         };
         let s = run(PipelineMode::Streamed);

@@ -102,17 +102,19 @@ fn fault_recovery_is_visible_in_the_trace() {
 
 #[test]
 fn multi_phase_app_concatenates_skeleton_spans() {
-    // tpacf runs three skeletons back to back (dd, rr, dr); the combined
-    // trace must hold all three skeleton spans in time order.
+    // tpacf runs four skeletons back to back (dd, the rand scatter, rr,
+    // dr); the combined trace must hold all four skeleton spans in time
+    // order.
     let input = tpacf::generate(24, 3, 8, 5);
     let rt = traced_rt(3, 2);
     let run = tpacf::run_triolet(&rt, &input);
     let names = run.trace.span_names();
     assert!(names.contains(&"skeleton:histogram"), "dd phase span missing: {names:?}");
+    assert!(names.contains(&"skeleton:scatter"), "rand scatter span missing: {names:?}");
     assert!(names.contains(&"skeleton:fold_reduce"), "rr/dr phase spans missing: {names:?}");
 
     let skeletons: Vec<_> = run.trace.spans.iter().filter(|s| s.cat == "skeleton").collect();
-    assert_eq!(skeletons.len(), 3, "three phases -> three skeleton spans");
+    assert_eq!(skeletons.len(), 4, "four phases -> four skeleton spans");
     for pair in skeletons.windows(2) {
         assert!(pair[0].t1 <= pair[1].t0 + 1e-12, "phases must not overlap in the timeline");
     }
