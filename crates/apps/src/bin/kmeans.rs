@@ -41,6 +41,10 @@ fn main() {
             opts.write_trace(&run.trace);
             run.value.centroids
         }
+        Impl::Tiled => {
+            eprintln!("kmeans has no tiled-kernel variant; use --impl triolet");
+            std::process::exit(2);
+        }
         Impl::Lowlevel => {
             let rt = opts.triolet_rt();
             let run = kmeans::run_rebroadcast(&rt, &input);

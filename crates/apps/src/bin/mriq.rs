@@ -31,6 +31,10 @@ fn main() {
             opts.write_trace(&run.trace);
             run.value
         }
+        Impl::Tiled => {
+            eprintln!("mriq has no tiled-kernel variant; use --impl triolet");
+            std::process::exit(2);
+        }
         Impl::Lowlevel => {
             let rt = LowLevelRt::new(ClusterConfig::virtual_cluster(opts.nodes, opts.threads));
             let (out, stats) = mriq::run_lowlevel(&rt, &input);

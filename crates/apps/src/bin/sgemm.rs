@@ -31,6 +31,13 @@ fn main() {
             opts.write_trace(&run.trace);
             run.value
         }
+        Impl::Tiled => {
+            let rt = opts.triolet_rt();
+            let run = sgemm::run_triolet_tiled(&rt, &input);
+            print_stats(&run.stats);
+            opts.write_trace(&run.trace);
+            run.value
+        }
         Impl::Lowlevel => {
             let rt = LowLevelRt::new(ClusterConfig::virtual_cluster(opts.nodes, opts.threads));
             let (c, stats) = sgemm::run_lowlevel(&rt, &input);

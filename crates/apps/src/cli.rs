@@ -12,6 +12,8 @@ pub enum Impl {
     Seq,
     /// Triolet skeletons.
     Triolet,
+    /// Triolet skeletons with tiled node kernels (sgemm/tpacf only).
+    Tiled,
     /// Hand-partitioned C+MPI+OpenMP style.
     Lowlevel,
     /// Eden-style skeletons.
@@ -54,7 +56,7 @@ impl Opts {
                 let keys: Vec<String> =
                     size_keys.iter().map(|(k, v)| format!("[--{k} N (default {v})]")).collect();
                 eprintln!(
-                    "usage: {app} [--impl seq|triolet|lowlevel|eden] [--nodes N] \
+                    "usage: {app} [--impl seq|triolet|tiled|lowlevel|eden] [--nodes N] \
                      [--threads T] [--seed S] [--trace-out FILE] {}",
                     keys.join(" ")
                 );
@@ -71,6 +73,7 @@ impl Opts {
                     imp = match value(&mut args).as_str() {
                         "seq" => Impl::Seq,
                         "triolet" => Impl::Triolet,
+                        "tiled" => Impl::Tiled,
                         "lowlevel" => Impl::Lowlevel,
                         "eden" => Impl::Eden,
                         _ => {

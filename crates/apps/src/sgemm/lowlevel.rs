@@ -9,19 +9,23 @@
 use triolet::{Array2, NodeCtx, RunStats};
 use triolet_baselines::LowLevelRt;
 use triolet_domain::{chunk_ranges, near_square_grid, Dim2Part, Domain, Part, Seq, SeqPart};
-use triolet_serial::{Wire, WireReader, WireResult, WireWriter};
+use triolet_serial::{PodView, Wire, WireReader, WireResult, WireWriter};
 
-use super::{dot_rows, transpose_seq, SgemmInput};
+use super::{gemm_tiled, transpose_seq, SgemmInput};
 
 /// One rank's hand-built message: the `A` row band and `B^T` row band
 /// covering its output block, plus the block coordinates.
+///
+/// The row bands are [`PodView`]s: on the node they alias the received wire
+/// buffer instead of being copied out (zero-copy unpack), which matters
+/// because they are by far the largest part of the payload.
 #[derive(Clone)]
 struct BlockPayload {
     block: Dim2Part,
     /// `A` rows `block.row0 .. block.row0 + block.rows`, row-major.
-    a_rows: Vec<f32>,
+    a_rows: PodView<f32>,
     /// `B^T` rows `block.col0 .. block.col0 + block.cols`, row-major.
-    bt_rows: Vec<f32>,
+    bt_rows: PodView<f32>,
     /// Inner dimension (columns of `A` = columns of `B^T`).
     k: usize,
     alpha: f32,
@@ -38,8 +42,8 @@ impl Wire for BlockPayload {
     fn unpack(r: &mut WireReader) -> WireResult<Self> {
         Ok(BlockPayload {
             block: Dim2Part::unpack(r)?,
-            a_rows: Vec::unpack(r)?,
-            bt_rows: Vec::unpack(r)?,
+            a_rows: PodView::unpack(r)?,
+            bt_rows: PodView::unpack(r)?,
             k: usize::unpack(r)?,
             alpha: f32::unpack(r)?,
         })
@@ -70,8 +74,8 @@ fn build_payloads(input: &SgemmInput, bt: &Array2<f32>, nodes: usize) -> Vec<Blo
             }
             payloads.push(BlockPayload {
                 block: Dim2Part::new(r0, nr, c0, nc),
-                a_rows,
-                bt_rows,
+                a_rows: PodView::from_vec(a_rows),
+                bt_rows: PodView::from_vec(bt_rows),
                 k,
                 alpha: input.alpha,
             });
@@ -81,22 +85,17 @@ fn build_payloads(input: &SgemmInput, bt: &Array2<f32>, nodes: usize) -> Vec<Blo
 }
 
 /// The node kernel: compute one output block, threads over block rows.
-fn block_kernel(ctx: &NodeCtx<'_>, p: BlockPayload) -> (Dim2Part, Vec<f32>) {
+/// Each thread strip runs the tiled kernel over its rows against the full
+/// `B^T` band (registered-blocked tiles; bit-identical to the naive loop).
+fn block_kernel(ctx: &NodeCtx<'_>, p: BlockPayload) -> (Dim2Part, PodView<f32>) {
     let BlockPayload { block, a_rows, bt_rows, k, alpha } = p;
     let chunks = Seq::new(block.rows).split_parts(ctx.threads() * 4);
     let row_strips = ctx.map_chunks(chunks, |strip: &SeqPart| {
-        let mut out = Vec::with_capacity(strip.count() * block.cols);
-        for local_r in strip.range() {
-            let a_row = &a_rows[local_r * k..(local_r + 1) * k];
-            for local_c in 0..block.cols {
-                let bt_row = &bt_rows[local_c * k..(local_c + 1) * k];
-                out.push(alpha * dot_rows(a_row, bt_row));
-            }
-        }
-        out
+        let a_band = &a_rows[strip.start * k..(strip.start + strip.count()) * k];
+        gemm_tiled(a_band, &bt_rows, k, strip.count(), block.cols, alpha)
     });
     let data = ctx.sequential(|| row_strips.concat());
-    (block, data)
+    (block, PodView::from_vec(data))
 }
 
 /// Run sgemm with hand-written partitioning on `rt`.
@@ -112,10 +111,13 @@ pub fn run_lowlevel(rt: &LowLevelRt, input: &SgemmInput) -> (Array2<f32>, RunSta
     let payloads = build_payloads(input, &bt, rt.nodes());
     let (c, stats) = rt.run(payloads, block_kernel, |blocks| {
         let mut c = Array2::<f32>::zeros(m, n);
-        for (block, data) in blocks {
-            for (kk, x) in data.into_iter().enumerate() {
-                let (r, cc) = block.index_at(kk);
-                c[(r, cc)] = x;
+        let data = c.as_mut_slice();
+        for (block, result) in blocks {
+            let result = result.as_slice();
+            for rr in 0..block.rows {
+                let src = &result[rr * block.cols..(rr + 1) * block.cols];
+                let d0 = (block.row0 + rr) * n + block.col0;
+                data[d0..d0 + block.cols].copy_from_slice(src);
             }
         }
         c

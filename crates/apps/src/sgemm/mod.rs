@@ -17,14 +17,18 @@
 //! the Eden model pays it as a sequential bottleneck.
 
 mod eden;
+mod kernel;
 mod lowlevel;
 mod seq;
 mod triolet_impl;
 
 pub use eden::run_eden;
+pub use kernel::{gemm_naive, gemm_tiled, gemm_tiled_into, BLOCK_MC, BLOCK_NC, TILE_MR, TILE_NR};
 pub use lowlevel::run_lowlevel;
 pub use seq::{run_seq, transpose_seq};
-pub use triolet_impl::{run_triolet, transpose_triolet, zipped_ab, Dim2OuterProduct};
+pub use triolet_impl::{
+    run_triolet, run_triolet_tiled, transpose_triolet, zipped_ab, Dim2OuterProduct,
+};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,6 +140,36 @@ mod tests {
         let rt = LowLevelRt::new(ClusterConfig::virtual_cluster(4, 2));
         let (got, _) = run_lowlevel(&rt, &input);
         assert!(validate(&expect, &got, 1e-4));
+    }
+
+    #[test]
+    fn lowlevel_matches_seq_bitwise() {
+        // The tiled node kernel preserves the naive accumulation order, so
+        // the distributed low-level result is bit-identical to run_seq.
+        let input = generate_rect(37, 19, 23, 12);
+        let expect = run_seq(&input);
+        let rt = LowLevelRt::new(ClusterConfig::virtual_cluster(4, 2));
+        let (got, _) = run_lowlevel(&rt, &input);
+        assert_eq!(expect.rows(), got.rows());
+        for (x, y) in expect.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn triolet_tiled_matches_triolet_bitwise() {
+        // Strip-level two-liner with the tiled kernel vs the row-level
+        // two-liner with dot_rows: bit-identical outputs.
+        let input = generate_rect(70, 33, 65, 21);
+        let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2));
+        let expect = run_triolet(&rt, &input).value;
+        let run = run_triolet_tiled(&rt, &input);
+        assert_eq!(expect.rows(), run.value.rows());
+        assert_eq!(expect.cols(), run.value.cols());
+        for (x, y) in expect.as_slice().iter().zip(run.value.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(run.stats.bytes_out > 0);
     }
 
     #[test]

@@ -13,9 +13,9 @@
 
 use triolet::prelude::*;
 use triolet::Array2;
-use triolet_iter::{RowRef, RowsIdx};
+use triolet_iter::{row_strips, RowRef, RowsIdx, StripRef};
 
-use super::{dot_rows, SgemmInput};
+use super::{dot_rows, gemm_tiled, SgemmInput, BLOCK_MC};
 
 /// Shared-memory parallel transpose: `[B[x,y] for (y,x) in range2d(n, k)]`.
 pub fn transpose_triolet(rt: &Triolet, b: &Array2<f32>) -> Run<Array2<f32>> {
@@ -37,6 +37,55 @@ pub fn run_triolet(rt: &Triolet, input: &SgemmInput) -> Run<Array2<f32>> {
         alpha * dot_rows(u.as_slice(), v.as_slice())
     }));
     // Total time (and the trace timeline) includes the transpose phase.
+    run.stats.total_s += t.stats.total_s;
+    run.stats.root_s += t.stats.root_s;
+    let mut trace = t.trace;
+    trace.then(run.trace);
+    run.trace = trace;
+    run
+}
+
+/// Run sgemm through the Triolet skeletons with the tiled node kernel.
+///
+/// Same two-liner shape as [`run_triolet`], lifted from rows to row
+/// *strips*: `outerproduct(row_strips(A), row_strips(BT))` associates each
+/// strip-grid cell with exactly the `A` and `B^T` row strips covering it,
+/// each cell runs the register-blocked [`gemm_tiled`] kernel over its
+/// strips, and the root flattens the grid of blocks into the dense output.
+/// Results are bit-identical to [`run_triolet`] (the tiled kernel preserves
+/// the naive accumulation order).
+pub fn run_triolet_tiled(rt: &Triolet, input: &SgemmInput) -> Run<Array2<f32>> {
+    let t = transpose_triolet(rt, &input.b);
+    let alpha = input.alpha;
+    let k = input.a.cols();
+    let (m, n) = (input.a.rows(), input.b.cols());
+    let strip = BLOCK_MC;
+
+    let zipped = outerproduct(row_strips(&input.a, strip), row_strips(&t.value, strip)).par();
+    let blocks = rt.build_array2(zipped.map(move |(u, v): (StripRef<f32>, StripRef<f32>)| {
+        gemm_tiled(u.as_slice(), v.as_slice(), k, u.rows(), v.rows(), alpha)
+    }));
+
+    // Root: flatten the strip grid of blocks into the dense m x n output,
+    // one contiguous row segment per block row.
+    let mut c = Array2::<f32>::zeros(m, n);
+    {
+        let data = c.as_mut_slice();
+        for (si, row0) in (0..m).step_by(strip).enumerate() {
+            let rows_here = strip.min(m - row0);
+            for (sj, col0) in (0..n).step_by(strip).enumerate() {
+                let cols_here = strip.min(n - col0);
+                let block = &blocks.value[(si, sj)];
+                for rr in 0..rows_here {
+                    let d0 = (row0 + rr) * n + col0;
+                    data[d0..d0 + cols_here]
+                        .copy_from_slice(&block[rr * cols_here..(rr + 1) * cols_here]);
+                }
+            }
+        }
+    }
+
+    let mut run = Run::new(c, blocks.stats).with_trace(blocks.trace);
     run.stats.total_s += t.stats.total_s;
     run.stats.root_s += t.stats.root_s;
     let mut trace = t.trace;

@@ -10,9 +10,9 @@
 use triolet::{NodeCtx, RunStats, SeqPart};
 use triolet_baselines::LowLevelRt;
 use triolet_domain::{chunk_ranges, Domain, Seq};
-use triolet_serial::{Wire, WireReader, WireResult, WireWriter};
+use triolet_serial::{PodView, Wire, WireReader, WireResult, WireWriter};
 
-use super::seq::{cross_correlation, self_correlation};
+use super::seq::{cross_correlation_tiled, self_correlation_rows_tiled, self_correlation_tiled};
 use super::{hist_len, Point, TpacfInput, TpacfOutput};
 
 /// One rank's hand-built message: its random datasets plus copies of the
@@ -21,7 +21,8 @@ use super::{hist_len, Point, TpacfInput, TpacfOutput};
 struct RankPayload {
     rands: Vec<Vec<Point>>,
     obs: Vec<Point>,
-    bin_edges: Vec<f64>,
+    /// Zero-copy on the node: aliases the received wire buffer when aligned.
+    bin_edges: PodView<f64>,
     /// Whether this rank also computes the DD histogram (rank 0 only).
     compute_dd: bool,
 }
@@ -37,7 +38,7 @@ impl Wire for RankPayload {
         Ok(RankPayload {
             rands: Vec::unpack(r)?,
             obs: Vec::unpack(r)?,
-            bin_edges: Vec::unpack(r)?,
+            bin_edges: PodView::unpack(r)?,
             compute_dd: bool::unpack(r)?,
         })
     }
@@ -55,8 +56,8 @@ fn kernel(ctx: &NodeCtx<'_>, p: RankPayload) -> ThreeHists {
     let per_set = ctx.map_chunks(p.rands.clone(), |rand: &Vec<Point>| {
         let mut dr = vec![0u64; bins];
         let mut rr = vec![0u64; bins];
-        cross_correlation(&p.bin_edges, &p.obs, rand, &mut dr);
-        self_correlation(&p.bin_edges, rand, &mut rr);
+        cross_correlation_tiled(&p.bin_edges, &p.obs, rand, &mut dr);
+        self_correlation_tiled(&p.bin_edges, rand, &mut rr);
         (dr, rr)
     });
     // DD on the designated rank: thread-chunked triangular loop with
@@ -66,12 +67,7 @@ fn kernel(ctx: &NodeCtx<'_>, p: RankPayload) -> ThreeHists {
         let chunks = Seq::new(n).split_parts(ctx.threads() * 4);
         let privates = ctx.map_chunks(chunks, |c: &SeqPart| {
             let mut h = vec![0u64; bins];
-            for i in c.range() {
-                let u = p.obs[i];
-                for &v in &p.obs[i + 1..] {
-                    h[super::score(&p.bin_edges, u, v)] += 1;
-                }
-            }
+            self_correlation_rows_tiled(&p.bin_edges, &p.obs, c.start, c.end(), &mut h);
             h
         });
         ctx.sequential(|| {
@@ -113,7 +109,7 @@ pub fn run_lowlevel(rt: &LowLevelRt, input: &TpacfInput) -> (TpacfOutput, RunSta
         .map(|(rank, &(s, l))| RankPayload {
             rands: input.rands[s..s + l].to_vec(),
             obs: input.obs.clone(),
-            bin_edges: input.bin_edges.clone(),
+            bin_edges: PodView::from_vec(input.bin_edges.clone()),
             compute_dd: rank == 0,
         })
         .collect();
@@ -122,7 +118,7 @@ pub fn run_lowlevel(rt: &LowLevelRt, input: &TpacfInput) -> (TpacfOutput, RunSta
         vec![RankPayload {
             rands: Vec::new(),
             obs: input.obs.clone(),
-            bin_edges: input.bin_edges.clone(),
+            bin_edges: PodView::from_vec(input.bin_edges.clone()),
             compute_dd: true,
         }]
     } else {

@@ -18,8 +18,11 @@ mod triolet_impl;
 
 pub use eden::run_eden;
 pub use lowlevel::run_lowlevel;
-pub use seq::run_seq;
-pub use triolet_impl::run_triolet;
+pub use seq::{
+    cross_correlation, cross_correlation_tiled, run_seq, self_correlation,
+    self_correlation_rows_tiled, self_correlation_tiled, CORR_TILE,
+};
+pub use triolet_impl::{run_triolet, run_triolet_tiled};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,6 +104,15 @@ pub fn log_bins(bins: usize) -> Vec<f64> {
 #[inline]
 pub fn score(bin_edges: &[f64], u: Point, v: Point) -> usize {
     let dot = (u.0 * v.0 + u.1 * v.1 + u.2 * v.2).clamp(-1.0, 1.0);
+    score_cos(bin_edges, dot)
+}
+
+/// Bin index for an already-computed (clamped) pair cosine: the search half
+/// of [`score`]. The tiled correlation loops batch the dot products of one
+/// tile (a vectorizable loop) and then bin the batch through this function,
+/// so every pair takes exactly the same arithmetic path as [`score`].
+#[inline]
+pub fn score_cos(bin_edges: &[f64], dot: f64) -> usize {
     // Edges descend in cos; find the first bin whose lower cos edge is
     // below the dot (i.e. whose angle exceeds the pair's angle).
     // bin i covers cos in (edges[i+1], edges[i]].
@@ -213,6 +225,33 @@ mod tests {
         let rt = EdenRt::new(2, 2);
         let (got, _) = run_eden(&rt, &input).expect("payloads fit Eden buffers");
         assert!(validate(&expect, &got));
+    }
+
+    #[test]
+    fn triolet_tiled_matches_seq() {
+        let input = small();
+        let expect = run_seq(&input);
+        let rt = Triolet::new(ClusterConfig::virtual_cluster(3, 2));
+        let run = run_triolet_tiled(&rt, &input);
+        assert!(validate(&expect, &run.value));
+        assert!(run.stats.bytes_out > 0);
+    }
+
+    #[test]
+    fn tiled_correlations_match_naive() {
+        use super::seq::{
+            cross_correlation, cross_correlation_tiled, self_correlation, self_correlation_tiled,
+        };
+        let input = generate(75, 2, 16, 5); // not a CORR_TILE multiple
+        let bins = hist_len(&input);
+        let (mut a, mut b) = (vec![0u64; bins], vec![0u64; bins]);
+        self_correlation(&input.bin_edges, &input.obs, &mut a);
+        self_correlation_tiled(&input.bin_edges, &input.obs, &mut b);
+        assert_eq!(a, b);
+        let (mut a, mut b) = (vec![0u64; bins], vec![0u64; bins]);
+        cross_correlation(&input.bin_edges, &input.obs, &input.rands[0], &mut a);
+        cross_correlation_tiled(&input.bin_edges, &input.obs, &input.rands[0], &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use triolet_obs::{tree_edge_args, TraceData, TraceHandle, Track};
 use triolet_pool::ThreadPool;
-use triolet_serial::{packed, unpack_all, Wire, WireError};
+use triolet_serial::{packed, unpack_all, unpack_counters, Wire, WireError};
 
 use crate::cost::{CostModel, DistTiming, TrafficStats};
 use crate::fault::FaultPlan;
@@ -42,6 +42,17 @@ const ENV_ATTEMPT_CAP: u32 = 10_000;
 /// construction and the root never gives up on them, so only a plan with a
 /// drop rate of essentially 1.0 can hit this.
 const RETURN_ATTEMPT_CAP: u32 = 10_000;
+
+/// Run `f` and return its result plus the `(copied, aliased)` unpack byte
+/// deltas it produced on this thread — the root-side accounting hook for the
+/// zero-copy unpack path. Must run on the thread doing the unpacking (the
+/// counters are thread-local).
+fn with_unpack_delta<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let (c0, a0) = unpack_counters();
+    let out = f();
+    let (c1, a1) = unpack_counters();
+    (out, c1.wrapping_sub(c0), a1.wrapping_sub(a0))
+}
 
 /// How one-to-all payloads (the broadcast environment) are routed.
 ///
@@ -661,6 +672,8 @@ impl Cluster {
                 redispatches: 0,
                 resident_hits: 0,
                 resident_misses: 0,
+                unpack_copied: 0,
+                unpack_aliased: 0,
             },
             tr.take(),
         )
@@ -717,9 +730,10 @@ impl Cluster {
                     pack_s,
                     resident: None,
                     work: Box::new(move |ctx: &NodeCtx<'_>| {
-                        // Deserialization happens on the node: charge it.
+                        // Deserialization happens on the node: charge it (and
+                        // let the trace show how much of it was zero-copy).
                         let payload: T =
-                            ctx.sequential(|| unpack_all(msg).expect("payload roundtrip"));
+                            ctx.unpack_sequential(|| unpack_all(msg).expect("payload roundtrip"));
                         task(ctx, payload)
                     }),
                 }
@@ -1196,6 +1210,8 @@ impl Cluster {
                 }
 
                 let mut arrivals = vec![0.0f64; n_tasks];
+                let mut unpack_copied = 0u64;
+                let mut unpack_aliased = 0u64;
                 let results: Vec<R>;
                 let total_s = match self.config.pipeline {
                     PipelineMode::Barrier => {
@@ -1204,7 +1220,10 @@ impl Cluster {
                         let t1 = Instant::now();
                         let mut out = Vec::with_capacity(n_tasks);
                         for (i, rb) in results_bytes.into_iter().enumerate() {
-                            match unpack_all(rb) {
+                            let (decoded, c, a) = with_unpack_delta(|| unpack_all(rb));
+                            unpack_copied += c;
+                            unpack_aliased += a;
+                            match decoded {
                                 Ok(r) => out.push(r),
                                 Err(source) => {
                                     return Err(DispatchError::Decode { task: i, source })
@@ -1219,7 +1238,10 @@ impl Cluster {
                             Track::Root,
                             finish,
                             finish + root_unpack_s,
-                            vec![],
+                            vec![
+                                ("copied", unpack_copied.into()),
+                                ("aliased", unpack_aliased.into()),
+                            ],
                         );
                         let total = finish + root_unpack_s;
                         arrivals.iter_mut().for_each(|a| *a = total);
@@ -1242,12 +1264,16 @@ impl Cluster {
                         let mut uclock = clock; // root NIC/core free after last send
                         let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
                         let mut spans = vec![(0.0f64, 0.0f64); n_tasks];
+                        let mut moved = vec![(0u64, 0u64); n_tasks];
                         for &i in &order {
                             uclock = uclock.max(ret_arrival[i]);
                             let rb = std::mem::take(&mut results_bytes[i]);
                             let t1 = Instant::now();
-                            let decoded = unpack_all(rb);
+                            let (decoded, c, a) = with_unpack_delta(|| unpack_all(rb));
                             let u = t1.elapsed().as_secs_f64();
+                            unpack_copied += c;
+                            unpack_aliased += a;
+                            moved[i] = (c, a);
                             match decoded {
                                 Ok(r) => slots[i] = Some(r),
                                 Err(source) => {
@@ -1270,7 +1296,11 @@ impl Cluster {
                                     Track::Root,
                                     s0,
                                     s1,
-                                    vec![("task", i.into())],
+                                    vec![
+                                        ("task", i.into()),
+                                        ("copied", moved[i].0.into()),
+                                        ("aliased", moved[i].1.into()),
+                                    ],
                                 );
                             }
                         }
@@ -1279,6 +1309,7 @@ impl Cluster {
                         uclock.max(finish)
                     }
                 };
+                self.stats.record_unpack(unpack_copied, unpack_aliased);
                 Ok(DistOutcome {
                     results,
                     arrivals,
@@ -1294,6 +1325,8 @@ impl Cluster {
                         redispatches,
                         resident_hits,
                         resident_misses,
+                        unpack_copied,
+                        unpack_aliased,
                     },
                 })
             }
@@ -1417,6 +1450,9 @@ impl Cluster {
                 let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
                 let mut arrivals = vec![0.0f64; n_tasks];
                 let mut unpack_spans = vec![(0.0f64, 0.0f64); n_tasks];
+                let mut unpack_moved = vec![(0u64, 0u64); n_tasks];
+                let mut unpack_copied = 0u64;
+                let mut unpack_aliased = 0u64;
                 let mut first_ready: Option<f64> = None;
                 let mut decode_err: Option<DispatchError> = None;
                 let streamed = self.config.pipeline == PipelineMode::Streamed;
@@ -1473,8 +1509,11 @@ impl Cluster {
                         if streamed {
                             let at = prep_off + t_start.elapsed().as_secs_f64();
                             first_ready.get_or_insert(at);
-                            let decoded = unpack_all(rb.clone());
+                            let (decoded, c, a) = with_unpack_delta(|| unpack_all(rb.clone()));
                             let done = prep_off + t_start.elapsed().as_secs_f64();
+                            unpack_copied += c;
+                            unpack_aliased += a;
+                            unpack_moved[i] = (c, a);
                             match decoded {
                                 Ok(r) => slots[i] = Some(r),
                                 Err(source) => {
@@ -1496,7 +1535,10 @@ impl Cluster {
                 if !streamed {
                     for (i, rb) in raw.iter().enumerate() {
                         let rb = rb.clone().expect("every task produced a result");
-                        match unpack_all(rb) {
+                        let (decoded, c, a) = with_unpack_delta(|| unpack_all(rb));
+                        unpack_copied += c;
+                        unpack_aliased += a;
+                        match decoded {
                             Ok(r) => slots[i] = Some(r),
                             Err(source) => return Err(DispatchError::Decode { task: i, source }),
                         }
@@ -1548,7 +1590,11 @@ impl Cluster {
                                 Track::Root,
                                 s0,
                                 s1,
-                                vec![("task", i.into())],
+                                vec![
+                                    ("task", i.into()),
+                                    ("copied", unpack_moved[i].0.into()),
+                                    ("aliased", unpack_moved[i].1.into()),
+                                ],
                             );
                         }
                     }
@@ -1560,6 +1606,7 @@ impl Cluster {
                 }
                 let results: Vec<R> =
                     slots.into_iter().map(|s| s.expect("every task produced a result")).collect();
+                self.stats.record_unpack(unpack_copied, unpack_aliased);
                 Ok(DistOutcome {
                     results,
                     arrivals,
@@ -1575,6 +1622,8 @@ impl Cluster {
                         redispatches,
                         resident_hits,
                         resident_misses,
+                        unpack_copied,
+                        unpack_aliased,
                     },
                 })
             }

@@ -59,6 +59,8 @@ pub struct TrafficStats {
     seg_scatters: AtomicU64,
     resident_hits: AtomicU64,
     resident_misses: AtomicU64,
+    unpack_copied: AtomicU64,
+    unpack_aliased: AtomicU64,
 }
 
 impl TrafficStats {
@@ -125,6 +127,14 @@ impl TrafficStats {
         self.resident_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record the byte movement of one root-side result unpack: `copied`
+    /// bytes went through a memcpy into fresh allocations, `aliased` bytes
+    /// were answered by zero-copy views into the received buffer.
+    pub fn record_unpack(&self, copied: u64, aliased: u64) {
+        self.unpack_copied.fetch_add(copied, Ordering::Relaxed);
+        self.unpack_aliased.fetch_add(aliased, Ordering::Relaxed);
+    }
+
     /// Messages recorded so far.
     pub fn messages(&self) -> u64 {
         self.msgs.load(Ordering::Relaxed)
@@ -180,6 +190,16 @@ impl TrafficStats {
         self.resident_misses.load(Ordering::Relaxed)
     }
 
+    /// Bytes memcpy'd out of received buffers during root-side unpacks.
+    pub fn unpack_copied(&self) -> u64 {
+        self.unpack_copied.load(Ordering::Relaxed)
+    }
+
+    /// Bytes aliased in place (zero-copy) during root-side unpacks.
+    pub fn unpack_aliased(&self) -> u64 {
+        self.unpack_aliased.load(Ordering::Relaxed)
+    }
+
     /// Zero the counters (between experiments).
     pub fn reset(&self) {
         self.msgs.store(0, Ordering::Relaxed);
@@ -193,6 +213,8 @@ impl TrafficStats {
         self.seg_scatters.store(0, Ordering::Relaxed);
         self.resident_hits.store(0, Ordering::Relaxed);
         self.resident_misses.store(0, Ordering::Relaxed);
+        self.unpack_copied.store(0, Ordering::Relaxed);
+        self.unpack_aliased.store(0, Ordering::Relaxed);
     }
 }
 
@@ -220,6 +242,10 @@ pub struct DistTiming {
     pub resident_hits: u64,
     /// Resident tasks whose segment had to be re-shipped to a survivor.
     pub resident_misses: u64,
+    /// Result-unpack bytes memcpy'd out of received buffers at the root.
+    pub unpack_copied: u64,
+    /// Result-unpack bytes aliased in place (zero-copy views) at the root.
+    pub unpack_aliased: u64,
 }
 
 impl DistTiming {
@@ -287,6 +313,8 @@ mod tests {
             redispatches: 0,
             resident_hits: 0,
             resident_misses: 0,
+            unpack_copied: 0,
+            unpack_aliased: 0,
         };
         assert_eq!(t.compute_span_s(), 0.9);
     }

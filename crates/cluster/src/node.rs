@@ -206,6 +206,28 @@ impl<'a> NodeCtx<'a> {
         r
     }
 
+    /// Run a payload deserialization on this node's clock, emitting an
+    /// `"unpack"` span annotated with how many payload bytes were memcpy'd
+    /// vs aliased in place ([`PodView`](triolet_serial::PodView) fields alias
+    /// the received buffer; everything else copies). The counters are
+    /// thread-local, and both the closure and the delta reads run on this
+    /// thread, so concurrent node tasks cannot bleed into each other.
+    pub fn unpack_sequential<R>(&self, f: impl FnOnce() -> R) -> R {
+        let (c0, a0) = triolet_serial::unpack_counters();
+        let t0 = self.elapsed();
+        let r = self.sequential(f);
+        let (c1, a1) = triolet_serial::unpack_counters();
+        self.trace.span(
+            "unpack",
+            "prep",
+            self.node_track(),
+            t0,
+            self.elapsed(),
+            vec![("copied", c1.wrapping_sub(c0).into()), ("aliased", a1.wrapping_sub(a0).into())],
+        );
+        r
+    }
+
     /// Map `leaf` over explicit chunks in parallel, preserving order.
     ///
     /// The chunk list is the thread-level work decomposition (the paper's

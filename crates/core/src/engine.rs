@@ -37,7 +37,7 @@ use triolet_iter::collector::Collector;
 use triolet_iter::shapes::ParHint;
 use triolet_iter::Array2;
 use triolet_pool::parallel::CHUNKS_PER_THREAD;
-use triolet_serial::{PackedPayload, Wire};
+use triolet_serial::{PackedPayload, PodView, Wire};
 
 use crate::dist::{
     AsEnv, DistArray2, DistInput, DistIter, DistVec, EnvArg, IntoDistInput, PackedEnv, ResidentRun,
@@ -352,21 +352,25 @@ impl Triolet {
     /// Concatenate ordered per-task fragments at the root (build_vec-style
     /// assembly): streamed extension or lump concatenation — identical
     /// bytes either way, since fragments extend in task order.
+    ///
+    /// Fragments arrive as [`PodView`]s: for pod element types the root-side
+    /// unpack aliased the received buffer, so the only copy left is this
+    /// merge's `extend_from_slice` into the final vector.
     fn concat_epilogue<U>(
         &self,
         name: &str,
         root_prep_s: f64,
-        out: DistOutcome<Vec<U>>,
+        out: DistOutcome<PodView<U>>,
     ) -> Run<Vec<U>>
     where
-        U: Wire + Send,
+        U: Wire + Send + Sync + Clone,
     {
         if self.streamed() {
-            let total: usize = out.results.iter().map(Vec::len).sum();
+            let total: usize = out.results.iter().map(PodView::len).sum();
             let mut frags = out.results.into_iter();
             let mut value = Vec::with_capacity(total);
             let (merge_end, merge_busy, spans) = streamed_merge_clock(&out.arrivals, |_| {
-                value.extend(frags.next().expect("one fragment per task"));
+                value.extend_from_slice(&frags.next().expect("one fragment per task"));
             });
             let end_s = out.timing.total_s.max(merge_end);
             let trace =
@@ -378,10 +382,10 @@ impl Triolet {
             .with_trace(trace)
         } else {
             let t1 = Instant::now();
-            let total: usize = out.results.iter().map(Vec::len).sum();
+            let total: usize = out.results.iter().map(PodView::len).sum();
             let mut value = Vec::with_capacity(total);
             for frag in out.results {
-                value.extend(frag);
+                value.extend_from_slice(&frag);
             }
             let root_merge_s = t1.elapsed().as_secs_f64();
             let trace = self.skeleton_trace(
@@ -824,7 +828,7 @@ impl Triolet {
         In: IntoDistInput,
         In::Iter: DistIter<OuterDom = Seq>,
         Env: AsEnv,
-        U: Wire + Send,
+        U: Wire + Send + Sync + Clone,
         F: Fn(&Env::Env, In::Item) -> U + Send + Sync,
     {
         self.build_vec_named(input.into_dist_input(), env.env_arg(), f)
@@ -839,7 +843,7 @@ impl Triolet {
     where
         It: DistIter<OuterDom = Seq>,
         E: Wire + Send + Sync,
-        U: Wire + Send,
+        U: Wire + Send + Sync + Clone,
         F: Fn(&E, It::Item) -> U + Send + Sync,
     {
         fn node_fragment<It, E, U>(
@@ -881,7 +885,7 @@ impl Triolet {
                 let root_prep_s = t0.elapsed().as_secs_f64();
                 let id = run.id;
                 let f = &f;
-                let tasks: Vec<RawTask<'_, Vec<U>>> = run
+                let tasks: Vec<RawTask<'_, PodView<U>>> = run
                     .parts
                     .into_iter()
                     .map(|p| {
@@ -898,8 +902,9 @@ impl Triolet {
                                 halo_bytes: p.halo_bytes,
                             }),
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
-                                let env: E = ctx
-                                    .sequential(|| penv.unpack().expect("environment roundtrip"));
+                                let env: E = ctx.unpack_sequential(|| {
+                                    penv.unpack().expect("environment roundtrip")
+                                });
                                 let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
                                 let pieces = ctx.map_chunks(chunks, |chunk| {
                                     let mut v = Vec::with_capacity(chunk.count());
@@ -912,7 +917,7 @@ impl Triolet {
                                     for piece in pieces {
                                         out.extend(piece);
                                     }
-                                    out
+                                    PodView::from_vec(out)
                                 })
                             }),
                         }
@@ -957,7 +962,7 @@ impl Triolet {
                 let env_bytes = env_payload.len();
                 let root_prep_s = t0.elapsed().as_secs_f64();
                 let f = &f;
-                let tasks: Vec<RawTask<'_, Vec<U>>> = parts
+                let tasks: Vec<RawTask<'_, PodView<U>>> = parts
                     .into_iter()
                     .map(|part| {
                         let tp = Instant::now();
@@ -970,10 +975,11 @@ impl Triolet {
                             pack_s,
                             resident: None,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
-                                let sub = ctx.sequential(|| sub.roundtrip());
-                                let env: E = ctx
-                                    .sequential(|| penv.unpack().expect("environment roundtrip"));
-                                node_fragment(ctx, &sub, &env, &part, f)
+                                let sub = ctx.unpack_sequential(|| sub.roundtrip());
+                                let env: E = ctx.unpack_sequential(|| {
+                                    penv.unpack().expect("environment roundtrip")
+                                });
+                                PodView::from_vec(node_fragment(ctx, &sub, &env, &part, f))
                             }),
                         }
                     })
@@ -993,7 +999,7 @@ impl Triolet {
     pub fn build_array3<It>(&self, it: It) -> Run<triolet_iter::Array3<It::Item>>
     where
         It: DistIter<OuterDom = triolet_domain::Dim3>,
-        It::Item: Wire + Send,
+        It::Item: Wire + Send + Sync + Clone,
     {
         let dom = it.outer_domain();
         match it.hint() {
@@ -1013,7 +1019,7 @@ impl Triolet {
                 };
                 let local = it.hint() == ParHint::LocalPar;
                 let t0 = Instant::now();
-                let tasks: Vec<RawTask<'_, Vec<It::Item>>> = parts
+                let tasks: Vec<RawTask<'_, PodView<It::Item>>> = parts
                     .into_iter()
                     .map(|part| {
                         let tp = Instant::now();
@@ -1026,8 +1032,11 @@ impl Triolet {
                             pack_s,
                             resident: None,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
-                                let sub =
-                                    if local { sub } else { ctx.sequential(|| sub.roundtrip()) };
+                                let sub = if local {
+                                    sub
+                                } else {
+                                    ctx.unpack_sequential(|| sub.roundtrip())
+                                };
                                 let chunks = part.split(ctx.threads() * CHUNKS_PER_THREAD);
                                 let pieces = ctx.map_chunks(chunks, |chunk| {
                                     let mut v = Vec::with_capacity(chunk.count());
@@ -1040,7 +1049,7 @@ impl Triolet {
                                     for p in pieces {
                                         out.extend(p);
                                     }
-                                    out
+                                    PodView::from_vec(out)
                                 })
                             }),
                         }
@@ -1060,7 +1069,7 @@ impl Triolet {
     pub fn build_array2<It>(&self, it: It) -> Run<Array2<It::Item>>
     where
         It: DistIter<OuterDom = Dim2>,
-        It::Item: Wire + Send + Clone + Default,
+        It::Item: Wire + Send + Sync + Clone + Default,
     {
         /// Compute one block's row-major contents from ordered chunk pieces.
         fn assemble_block<It>(
@@ -1090,6 +1099,22 @@ impl Triolet {
                 }
                 block
             })
+        }
+
+        /// Place one row-major block at its part's coordinates with row-wise
+        /// slice copies (no per-element index arithmetic).
+        fn place_block<T: Clone>(
+            result: &mut Array2<T>,
+            result_cols: usize,
+            part: &triolet_domain::Dim2Part,
+            block: &[T],
+        ) {
+            let data = result.as_mut_slice();
+            for rr in 0..part.rows {
+                let src = &block[rr * part.cols..(rr + 1) * part.cols];
+                let d0 = (part.row0 + rr) * result_cols + part.col0;
+                data[d0..d0 + part.cols].clone_from_slice(src);
+            }
         }
 
         let dom = it.outer_domain();
@@ -1124,7 +1149,7 @@ impl Triolet {
             ParHint::Par => {
                 let parts = dom.split_parts(self.nodes());
                 let t0 = Instant::now();
-                let tasks: Vec<RawTask<'_, (triolet_domain::Dim2Part, Vec<It::Item>)>> = parts
+                let tasks: Vec<RawTask<'_, (triolet_domain::Dim2Part, PodView<It::Item>)>> = parts
                     .into_iter()
                     .map(|part| {
                         let tp = Instant::now();
@@ -1136,9 +1161,9 @@ impl Triolet {
                             pack_s,
                             resident: None,
                             work: Box::new(move |ctx: &NodeCtx<'_>| {
-                                let sub = ctx.sequential(|| sub.roundtrip());
+                                let sub = ctx.unpack_sequential(|| sub.roundtrip());
                                 let block = assemble_block(ctx, &sub, &part);
-                                (part, block)
+                                (part, PodView::from_vec(block))
                             }),
                         }
                     })
@@ -1154,10 +1179,7 @@ impl Triolet {
                     let (merge_end, merge_busy, spans) =
                         streamed_merge_clock(&out.arrivals, |_| {
                             let (part, block) = blocks.next().expect("one block per task");
-                            for (k, x) in block.into_iter().enumerate() {
-                                let (r, c) = part.index_at(k);
-                                result[(r, c)] = x;
-                            }
+                            place_block(&mut result, dom.cols, &part, &block);
                         });
                     let end_s = out.timing.total_s.max(merge_end);
                     let trace = self.skeleton_trace_streamed(
@@ -1180,10 +1202,7 @@ impl Triolet {
                     let t1 = Instant::now();
                     let mut result = Array2::zeros(dom.rows, dom.cols);
                     for (part, block) in out.results {
-                        for (k, x) in block.into_iter().enumerate() {
-                            let (r, c) = part.index_at(k);
-                            result[(r, c)] = x;
-                        }
+                        place_block(&mut result, dom.cols, &part, &block);
                     }
                     let root_merge_s = t1.elapsed().as_secs_f64();
                     let trace = self.skeleton_trace(

@@ -31,6 +31,10 @@ pub struct RunStats {
     pub resident_hits: u64,
     /// Resident tasks whose segment was re-shipped to a survivor.
     pub resident_misses: u64,
+    /// Result-unpack bytes memcpy'd out of received buffers at the root.
+    pub unpack_copied: u64,
+    /// Result-unpack bytes aliased in place (zero-copy views) at the root.
+    pub unpack_aliased: u64,
 }
 
 impl RunStats {
@@ -48,6 +52,8 @@ impl RunStats {
             redispatches: 0,
             resident_hits: 0,
             resident_misses: 0,
+            unpack_copied: 0,
+            unpack_aliased: 0,
         }
     }
 
@@ -65,6 +71,8 @@ impl RunStats {
             redispatches: d.redispatches,
             resident_hits: d.resident_hits,
             resident_misses: d.resident_misses,
+            unpack_copied: d.unpack_copied,
+            unpack_aliased: d.unpack_aliased,
         }
     }
 
@@ -85,6 +93,8 @@ impl RunStats {
             redispatches: d.redispatches,
             resident_hits: d.resident_hits,
             resident_misses: d.resident_misses,
+            unpack_copied: d.unpack_copied,
+            unpack_aliased: d.unpack_aliased,
         }
     }
 
@@ -101,6 +111,8 @@ impl RunStats {
         self.redispatches += other.redispatches;
         self.resident_hits += other.resident_hits;
         self.resident_misses += other.resident_misses;
+        self.unpack_copied += other.unpack_copied;
+        self.unpack_aliased += other.unpack_aliased;
         if self.node_compute_s.len() < other.node_compute_s.len() {
             self.node_compute_s.resize(other.node_compute_s.len(), 0.0);
         }
@@ -150,6 +162,8 @@ mod tests {
             redispatches: 1,
             resident_hits: 0,
             resident_misses: 0,
+            unpack_copied: 0,
+            unpack_aliased: 0,
         };
         let s = RunStats::from_dist(d, 0.25);
         assert!((s.total_s - 2.25).abs() < 1e-12);

@@ -208,6 +208,162 @@ impl<T: Clone + Send + Sync + 'static> RowsIdx<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// StripsIdx: a row-major 2-D array as a 1-D indexer of row strips
+// ---------------------------------------------------------------------------
+
+/// A cheap, shareable view of a contiguous band of matrix rows; what
+/// [`row_strips`](crate::sources::row_strips) yields per element. Carries its
+/// global row coordinates so consumers (tiled block kernels) know which
+/// output block the strip covers.
+pub struct StripRef<T> {
+    data: Arc<Vec<T>>,
+    offset: usize,
+    row0: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T> Clone for StripRef<T> {
+    fn clone(&self) -> Self {
+        StripRef {
+            data: Arc::clone(&self.data),
+            offset: self.offset,
+            row0: self.row0,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+impl<T> StripRef<T> {
+    /// Global index of the strip's first row.
+    pub fn row0(&self) -> usize {
+        self.row0
+    }
+
+    /// Number of rows in the strip.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row length.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The strip's elements as one contiguous row-major slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[self.offset..self.offset + self.rows * self.cols]
+    }
+}
+
+/// A row-major matrix exposed as a `Seq` indexer over fixed-height row
+/// *strips* (the last strip may be shorter). The strip-level analogue of
+/// [`RowsIdx`]: `outerproduct(row_strips(A), row_strips(BT))` yields the
+/// 2-D *block* decomposition directly, with each cell holding exactly the
+/// input strips a tiled block kernel consumes.
+pub struct StripsIdx<T> {
+    data: Arc<Vec<T>>,
+    base_strip: usize,
+    strip_rows: usize,
+    total_rows: usize,
+    cols: usize,
+    dom: Seq,
+}
+
+impl<T> Clone for StripsIdx<T> {
+    fn clone(&self) -> Self {
+        StripsIdx {
+            data: Arc::clone(&self.data),
+            base_strip: self.base_strip,
+            strip_rows: self.strip_rows,
+            total_rows: self.total_rows,
+            cols: self.cols,
+            dom: self.dom,
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> StripsIdx<T> {
+    /// View `data` (row-major, `rows * cols` elements) as ceil(rows/h)
+    /// strips of `h` rows each.
+    pub fn new(data: Arc<Vec<T>>, rows: usize, cols: usize, strip_rows: usize) -> Self {
+        assert!(strip_rows > 0, "strip height must be positive");
+        assert_eq!(data.len(), rows * cols, "row-major data must fill the matrix");
+        let nstrips = rows.div_ceil(strip_rows);
+        StripsIdx {
+            data,
+            base_strip: 0,
+            strip_rows,
+            total_rows: rows,
+            cols,
+            dom: Seq::new(nstrips),
+        }
+    }
+
+    /// Rows in strip `s` (global strip index): `strip_rows`, except a short
+    /// final strip.
+    fn rows_of(&self, s: usize) -> usize {
+        self.strip_rows.min(self.total_rows - s * self.strip_rows)
+    }
+}
+
+impl<T: Wire + Clone + Send + Sync + 'static> Indexer for StripsIdx<T> {
+    type Dom = Seq;
+    type Out = StripRef<T>;
+
+    fn domain(&self) -> Seq {
+        self.dom
+    }
+
+    fn get(&self, strip: usize) -> StripRef<T> {
+        debug_assert!(strip >= self.base_strip);
+        let offset = (strip - self.base_strip) * self.strip_rows * self.cols;
+        let rows = self.rows_of(strip);
+        debug_assert!(offset + rows * self.cols <= self.data.len());
+        StripRef {
+            data: Arc::clone(&self.data),
+            offset,
+            row0: strip * self.strip_rows,
+            rows,
+            cols: self.cols,
+        }
+    }
+
+    fn slice(&self, part: &SeqPart) -> Self {
+        debug_assert!(part.start >= self.base_strip);
+        let lo = (part.start - self.base_strip) * self.strip_rows * self.cols;
+        let rows_covered: usize = (part.start..part.end()).map(|s| self.rows_of(s)).sum();
+        let window = self.data[lo..lo + rows_covered * self.cols].to_vec();
+        StripsIdx {
+            data: Arc::new(window),
+            base_strip: part.start,
+            strip_rows: self.strip_rows,
+            total_rows: self.total_rows,
+            cols: self.cols,
+            dom: self.dom,
+        }
+    }
+
+    fn source_size(&self) -> usize {
+        T::slice_packed_size(&self.data) + 40 // base_strip + strip_rows + total_rows + cols + dom
+    }
+
+    fn roundtrip_source(self) -> Self {
+        let bytes = packed(&*self.data);
+        let data: Vec<T> = unpack_all(bytes).expect("pack/unpack of own data cannot fail");
+        StripsIdx {
+            data: Arc::new(data),
+            base_strip: self.base_strip,
+            strip_rows: self.strip_rows,
+            total_rows: self.total_rows,
+            cols: self.cols,
+            dom: self.dom,
+        }
+    }
+}
+
 impl<T: Wire + Clone + Send + Sync + 'static> Indexer for RowsIdx<T> {
     type Dom = Seq;
     type Out = RowRef<T>;

@@ -55,12 +55,13 @@ pub use array::{Array2, Array3};
 pub use collector::{Collector, CountHist, SumCollector, VecCollector, WeightHist};
 pub use dyniter::{DynIdx, DynIter, DynStep};
 pub use indexer::{
-    ArrayIdx, FnIdx, Indexer, MapIdx, OuterProductIdx, RangeIdx, RowRef, RowsIdx, Zip3Idx, ZipIdx,
+    ArrayIdx, FnIdx, Indexer, MapIdx, OuterProductIdx, RangeIdx, RowRef, RowsIdx, StripRef,
+    StripsIdx, Zip3Idx, ZipIdx,
 };
 pub use shapes::{IdxFlat, IdxNest, ParHint, StepFlat, StepNest, TrioIter};
 pub use sources::{
-    array2_iter, array_iter, enumerate, from_vec, indices, outerproduct, range, range2d, rows, zip,
-    zip3,
+    array2_iter, array_iter, enumerate, from_vec, indices, outerproduct, range, range2d,
+    row_strips, rows, zip, zip3,
 };
 
 /// Everything a user of the iterator library typically needs.
@@ -69,8 +70,8 @@ pub mod prelude {
     pub use crate::collector::{Collector, CountHist, VecCollector, WeightHist};
     pub use crate::shapes::{IdxFlat, IdxNest, ParHint, StepFlat, StepNest, TrioIter};
     pub use crate::sources::{
-        array2_iter, array_iter, enumerate, from_vec, indices, outerproduct, range, range2d, rows,
-        zip, zip3,
+        array2_iter, array_iter, enumerate, from_vec, indices, outerproduct, range, range2d,
+        row_strips, rows, zip, zip3,
     };
     pub use triolet_domain::{Dim2, Dim3, Domain, Part, Seq};
 }

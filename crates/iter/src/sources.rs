@@ -7,7 +7,9 @@ use triolet_domain::{Dim2, Domain, Seq};
 use triolet_serial::Wire;
 
 use crate::array::Array2;
-use crate::indexer::{ArrayIdx, Indexer, OuterProductIdx, RangeIdx, RowsIdx, Zip3Idx, ZipIdx};
+use crate::indexer::{
+    ArrayIdx, Indexer, OuterProductIdx, RangeIdx, RowsIdx, StripsIdx, Zip3Idx, ZipIdx,
+};
 use crate::shapes::{IdxFlat, StepFlat, TrioIter};
 
 /// Iterate an owned vector (becomes a shared, sliceable data source).
@@ -41,6 +43,17 @@ pub fn indices<D: Domain>(dom: D) -> IdxFlat<RangeIdx<D>> {
 /// The backing data is shared once; slicing ships only the addressed rows.
 pub fn rows<T: Wire + Clone + Send + Sync + 'static>(a: &Array2<T>) -> IdxFlat<RowsIdx<T>> {
     IdxFlat::new(RowsIdx::new(a.to_shared(), a.rows(), a.cols()))
+}
+
+/// View a matrix as an iterator over fixed-height row *strips* — the
+/// strip-level analogue of [`rows`] used by tiled block kernels. Each
+/// element is a [`StripRef`](crate::indexer::StripRef) carrying its global
+/// row coordinates; slicing ships only the addressed strips.
+pub fn row_strips<T: Wire + Clone + Send + Sync + 'static>(
+    a: &Array2<T>,
+    strip_rows: usize,
+) -> IdxFlat<StripsIdx<T>> {
+    IdxFlat::new(StripsIdx::new(a.to_shared(), a.rows(), a.cols(), strip_rows))
 }
 
 /// View a shared row-major buffer as an iterator over rows, without copying.

@@ -39,6 +39,7 @@ mod error;
 mod payload;
 mod pod;
 mod reader;
+mod view;
 mod wire;
 mod writer;
 
@@ -46,6 +47,7 @@ pub use error::WireError;
 pub use payload::PackedPayload;
 pub use pod::Pod;
 pub use reader::WireReader;
+pub use view::{reset_unpack_counters, unpack_counters, PodView};
 pub use wire::{packed, unpack_all, Wire};
 pub use writer::WireWriter;
 

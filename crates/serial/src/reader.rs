@@ -41,6 +41,18 @@ impl WireReader {
         Ok(out)
     }
 
+    /// Consume `n` bytes as an owned window sharing the underlying buffer
+    /// (refcount bump, no copy). The zero-copy dual of [`take`](Self::take):
+    /// the returned `Bytes` stays valid after the reader is dropped.
+    pub(crate) fn take_shared(&mut self, n: usize) -> WireResult<Bytes> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof { needed: n, remaining: self.remaining() });
+        }
+        let out = self.buf.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(out)
+    }
+
     /// Read a single byte (enum discriminants).
     pub fn get_u8(&mut self) -> WireResult<u8> {
         Ok(self.take(1)?[0])
@@ -74,8 +86,11 @@ impl WireReader {
     /// [`crate::WireWriter::put_pod_slice`].
     pub fn get_pod_slice<T: Pod>(&mut self) -> WireResult<Vec<T>> {
         let len = self.get_len(std::mem::size_of::<T>())?;
-        let bytes = self.take(len * std::mem::size_of::<T>())?;
-        Ok(pod_from_bytes(bytes))
+        let nbytes = len * std::mem::size_of::<T>();
+        let bytes = self.take(nbytes)?;
+        let out = pod_from_bytes(bytes);
+        crate::view::record_copied(nbytes);
+        Ok(out)
     }
 }
 

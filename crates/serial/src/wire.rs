@@ -55,6 +55,14 @@ pub trait Wire: Sized {
     fn slice_packed_size(slice: &[Self]) -> usize {
         8 + slice.iter().map(Wire::packed_size).sum::<usize>()
     }
+
+    /// Unpack a slice written by [`Wire::pack_slice`] as a
+    /// [`PodView`](crate::PodView). [`Pod`] element types override this to
+    /// alias the reader's buffer (zero-copy when aligned); the default wraps
+    /// the element-wise [`Wire::unpack_vec`] path.
+    fn unpack_view(r: &mut WireReader) -> WireResult<crate::PodView<Self>> {
+        Ok(crate::PodView::from_vec(Self::unpack_vec(r)?))
+    }
 }
 
 /// Pack a value into a frozen payload sized with a single allocation.
@@ -99,6 +107,9 @@ macro_rules! impl_wire_pod {
                 }
                 fn slice_packed_size(slice: &[Self]) -> usize {
                     8 + std::mem::size_of_val(slice)
+                }
+                fn unpack_view(r: &mut WireReader) -> WireResult<crate::PodView<Self>> {
+                    r.get_pod_view()
                 }
             }
         )*
@@ -155,7 +166,10 @@ impl Wire for String {
     fn unpack(r: &mut WireReader) -> WireResult<Self> {
         let len = r.get_len(1)?;
         let bytes = r.get_bytes(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        // Validate on the borrowed slice, then copy once — `to_vec` followed
+        // by `from_utf8` would allocate and traverse twice.
+        let s = std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+        Ok(s.to_owned())
     }
     fn packed_size(&self) -> usize {
         8 + self.len()
