@@ -83,7 +83,7 @@ impl EdenRt {
         let config = ClusterConfig::virtual_cluster(nodes, procs_per_node);
         EdenRt {
             cluster: Cluster::new(config),
-            local_cost: CostModel { latency_s: 5e-6, bandwidth_bps: 4.0e9 },
+            local_cost: CostModel::flat(5e-6, 4.0e9),
             max_msg_bytes: DEFAULT_MSG_LIMIT,
         }
     }

@@ -1,0 +1,163 @@
+//! Ablation: event-driven vs eager virtual-time core at 64–4096 ranks.
+//!
+//! ```text
+//! cargo bench --bench ablation_scale -- [--smoke] [--out FILE]
+//! ```
+//!
+//! Runs an environment-broadcasting `fold_reduce` across N ∈ {64, 256,
+//! 1024, 4096} simulated ranks (the eager core still finishes at every
+//! point, so both cores are measured everywhere) and reports, per point:
+//! the simulator's host wall-clock for the whole virtual dispatch, the
+//! event core's heap throughput (events/second), and its peak resident
+//! heap length — the `O(ranks)` state bound that distinguishes the event
+//! core from the eager walk's full-vector passes. A final pass per rank
+//! count re-runs with [`ClusterConfig::with_sim_check`], which executes
+//! *both* cores on every dispatch and panics unless their timelines agree
+//! to the bit, so cross-core identity is asserted in-bench, not assumed.
+//! `--out` writes the table as JSON (BENCH_scale.json is the committed
+//! capture); `--smoke` shrinks the workload and rank sweep for CI while
+//! keeping the 1024-rank point.
+
+use std::io::Write;
+use std::time::Instant;
+
+use triolet::prelude::*;
+
+struct Point {
+    ranks: usize,
+    core: &'static str,
+    wall_s: f64,
+    total_s: f64,
+    events: u64,
+    events_per_s: f64,
+    peak_heap: u64,
+    value_bits: u64,
+}
+
+fn workload(ranks: usize, items_per_rank: usize) -> (Vec<f64>, Vec<f64>) {
+    let n_items = ranks * items_per_rank;
+    let env: Vec<f64> = (0..512).map(|i| (i as f64) * 0.5 - 1.0).collect();
+    let xs: Vec<f64> = (0..n_items).map(|i| (i % 8191) as f64 * 0.25).collect();
+    (env, xs)
+}
+
+fn run_point(ranks: usize, core: SimCore, sim_check: bool, env: &Vec<f64>, xs: &[f64]) -> Point {
+    let cfg =
+        ClusterConfig::virtual_cluster(ranks, 2).with_sim_core(core).with_sim_check(sim_check);
+    let rt = Triolet::new(cfg);
+    let t0 = Instant::now();
+    let run = rt.fold_reduce(
+        from_vec(xs.to_vec()).par(),
+        env,
+        || 0.0f64,
+        |env, acc: f64, x: f64| acc + x * env[(x as usize) % env.len()],
+        |a, b| a + b,
+    );
+    let wall_s = t0.elapsed().as_secs_f64();
+    let events = rt.cluster().stats().sim_events();
+    let peak_heap = rt.cluster().stats().sim_peak_heap();
+    Point {
+        ranks,
+        core: match core {
+            SimCore::Event => "event",
+            SimCore::Eager => "eager",
+        },
+        wall_s,
+        total_s: run.stats.total_s,
+        events,
+        events_per_s: if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 },
+        peak_heap,
+        value_bits: run.value.to_bits(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
+
+    let rank_sweep: &[usize] = if smoke { &[64, 1024] } else { &[64, 256, 1024, 4096] };
+    let items_per_rank = if smoke { 16 } else { 64 };
+
+    println!("# Ablation: event-driven vs eager virtual-time core");
+    println!(
+        "{items_per_rank} items/rank | env broadcast 4096 bytes | cost model {:?}",
+        CostModel::default()
+    );
+    println!("| ranks | core | sim wall (s) | events | events/s | peak heap | makespan (s) |");
+    println!("|------:|------|-------------:|-------:|---------:|----------:|-------------:|");
+
+    // One discarded run to warm the allocator and page in the inputs.
+    {
+        let (env, xs) = workload(64, items_per_rank);
+        let _ = run_point(64, SimCore::Event, false, &env, &xs);
+    }
+
+    let mut points = Vec::new();
+    for &ranks in rank_sweep {
+        let (env, xs) = workload(ranks, items_per_rank);
+        for core in [SimCore::Event, SimCore::Eager] {
+            let p = run_point(ranks, core, false, &env, &xs);
+            println!(
+                "| {} | {} | {:.6} | {} | {:.0} | {} | {:.6} |",
+                p.ranks, p.core, p.wall_s, p.events, p.events_per_s, p.peak_heap, p.total_s
+            );
+            points.push(p);
+        }
+    }
+
+    for &ranks in rank_sweep {
+        let get = |core: &str| {
+            points.iter().find(|p| p.ranks == ranks && p.core == core).expect("point present")
+        };
+        let (event, eager) = (get("event"), get("eager"));
+        // Identical results whichever core laid the timeline.
+        assert_eq!(
+            event.value_bits, eager.value_bits,
+            "cores must agree bit-for-bit at {ranks} ranks"
+        );
+        // The heap discipline: every timed piece pops as an event, while
+        // resident state stays O(ranks) — far below the event total.
+        assert!(event.events > 0, "event core must process heap events at {ranks} ranks");
+        assert_eq!(eager.events, 0, "eager core must pop no heap events");
+        assert!(
+            event.peak_heap <= 4 * ranks as u64 + 16,
+            "peak heap {} must stay O(ranks) at {ranks} ranks",
+            event.peak_heap
+        );
+
+        // In-bench bit-identity: run both cores on the *same* dispatch and
+        // assert every span bound and arrival agrees to the bit (panics on
+        // the first divergence).
+        let (env, xs) = workload(ranks, items_per_rank);
+        let checked = run_point(ranks, SimCore::Event, true, &env, &xs);
+        assert_eq!(
+            checked.value_bits, event.value_bits,
+            "sim-check run must reproduce the value at {ranks} ranks"
+        );
+        println!("sim-check at {ranks} ranks: timelines bit-identical");
+    }
+
+    if let Some(path) = out_path {
+        let mut json = String::from("{\n  \"bench\": \"ablation_scale\",\n");
+        json.push_str(&format!("  \"items_per_rank\": {items_per_rank},\n  \"points\": [\n"));
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"ranks\": {}, \"core\": \"{}\", \"sim_wall_s\": {:.9}, \"events\": {}, \
+                 \"events_per_s\": {:.0}, \"peak_heap\": {}, \"total_s\": {:.9}}}{}\n",
+                p.ranks,
+                p.core,
+                p.wall_s,
+                p.events,
+                p.events_per_s,
+                p.peak_heap,
+                p.total_s,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let mut f = std::fs::File::create(&path).expect("create --out file");
+        f.write_all(json.as_bytes()).expect("write --out file");
+        println!("wrote {path}");
+    }
+}

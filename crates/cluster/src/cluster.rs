@@ -9,6 +9,7 @@
 //! on whichever rank finally receives it — and results come back in task
 //! order, bit-identical to a fault-free run.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use triolet_obs::{tree_edge_args, TraceData, TraceHandle, Track};
@@ -18,6 +19,7 @@ use triolet_serial::{packed, unpack_all, unpack_counters, Wire, WireError};
 use crate::cost::{CostModel, DistTiming, TrafficStats};
 use crate::fault::FaultPlan;
 use crate::node::{ExecMode, NodeCtx, ResidentStore};
+use crate::sim::{self, SimCore, SimEnvEdge, SimProblem, SimTask};
 use crate::tree;
 
 /// Pseudo-rank of the root in fault-schedule coordinates (the root is not a
@@ -139,6 +141,13 @@ pub struct ClusterConfig {
     pub topology: Topology,
     /// Root-side overlap strategy (streamed by default).
     pub pipeline: PipelineMode,
+    /// Which virtual-time core lays dispatch timelines (the event heap by
+    /// default; the eager walk is kept for ablation and equivalence).
+    pub core: SimCore,
+    /// Run *both* cores on every virtual dispatch and panic unless their
+    /// timelines agree to the bit (equivalence gates and benches; off by
+    /// default — it doubles simulation work).
+    pub sim_check: bool,
 }
 
 impl ClusterConfig {
@@ -153,6 +162,8 @@ impl ClusterConfig {
             trace: false,
             topology: Topology::default(),
             pipeline: PipelineMode::default(),
+            core: SimCore::default(),
+            sim_check: false,
         }
     }
 
@@ -167,6 +178,8 @@ impl ClusterConfig {
             trace: false,
             topology: Topology::default(),
             pipeline: PipelineMode::default(),
+            core: SimCore::default(),
+            sim_check: false,
         }
     }
 
@@ -197,6 +210,20 @@ impl ClusterConfig {
     /// Replace the root-side overlap strategy.
     pub fn with_pipeline(mut self, pipeline: PipelineMode) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Replace the virtual-time simulator core.
+    pub fn with_sim_core(mut self, core: SimCore) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Enable or disable the in-dispatch dual-core equivalence check: every
+    /// virtual dispatch runs *both* cores and panics unless the timelines
+    /// agree bitwise.
+    pub fn with_sim_check(mut self, sim_check: bool) -> Self {
+        self.sim_check = sim_check;
         self
     }
 
@@ -461,7 +488,7 @@ fn plan_env_edges(plan: &FaultPlan, topology: Topology, participants: &[usize]) 
     let shape: Vec<(usize, usize, u32, usize)> = match topology {
         Topology::Tree => tree::edges(m)
             .into_iter()
-            .map(|(s, c)| (s, c, tree::depth(c), tree::children(s, m).len()))
+            .map(|(s, c)| (s, c, tree::depth(c), tree::fanout(s, m)))
             .collect(),
         Topology::Linear => (1..m).map(|c| (0, c, 1, m - 1)).collect(),
     };
@@ -517,6 +544,10 @@ pub struct Cluster {
     pools: Vec<ThreadPool>,
     stats: TrafficStats,
     resident: ResidentStore,
+    /// Reusable simulator state (clock vectors, event heap): capacity is
+    /// retained across dispatches, so a collective step allocates no
+    /// per-step `sender_clock` vectors.
+    sim_scratch: Mutex<sim::SimScratch>,
 }
 
 impl Cluster {
@@ -529,7 +560,13 @@ impl Cluster {
             }
             ExecMode::Virtual => Vec::new(),
         };
-        Cluster { config, pools, stats: TrafficStats::new(), resident: ResidentStore::new() }
+        Cluster {
+            config,
+            pools,
+            stats: TrafficStats::new(),
+            resident: ResidentStore::new(),
+            sim_scratch: Mutex::new(sim::SimScratch::new()),
+        }
     }
 
     /// The cluster's configuration.
@@ -626,7 +663,7 @@ impl Cluster {
             messages += copies;
             bytes_out += bytes as u64 * copies;
             retries += failed;
-            let dt = cost.transfer_time(bytes);
+            let dt = cost.edge_time(ROOT, rank, bytes);
             let edge_s = dt * copies as f64 + timeout_s * failed as f64;
             if tr.enabled() {
                 tr.span(
@@ -961,98 +998,220 @@ impl Cluster {
 
         match self.config.mode {
             ExecMode::Virtual => {
-                let mut clock = root_prep_s;
-                if self.config.pipeline == PipelineMode::Barrier && total_pack > 0.0 {
-                    tr.span("root:pack", "prep", Track::Root, clock, clock + total_pack, vec![]);
-                    clock += total_pack;
-                }
-                // The environment goes out first: each sender's NIC
-                // serializes its own edges (largest subtree first), while
-                // ranks that already hold the payload relay concurrently —
-                // this is where the tree's O(log N) last-arrival shows up.
-                let mut comm_s = 0.0f64;
-                let mut env_arrival = vec![0.0f64; n_nodes];
-                if !env_edges.is_empty() {
-                    let dt = cost.transfer_time(bcast_bytes);
-                    let mut sender_clock = vec![0.0f64; participants.len()];
-                    sender_clock[0] = clock;
-                    for e in &env_edges {
-                        let start = sender_clock[e.sender_pos];
-                        let edge_s = dt * e.copies() as f64 + timeout_s * e.failed() as f64;
-                        let done = start + edge_s;
-                        sender_clock[e.sender_pos] = done;
-                        sender_clock[e.dest_pos] = done;
-                        let dest = participants[e.dest_pos];
-                        env_arrival[dest] = done;
-                        comm_s += edge_s;
-                        if tr.enabled() {
-                            let track = if e.sender_pos == 0 {
-                                Track::Root
-                            } else {
-                                Track::Node(participants[e.sender_pos])
-                            };
-                            let mut args = tree_edge_args(dest, ENV_TAG, e.depth, e.fanout);
-                            args.push(("bytes", bcast_bytes.into()));
-                            args.push(("attempts", (e.attempts as u64).into()));
-                            tr.span("comm:tree", "comm", track, start, done, args);
-                            let fault = |name: &'static str, count: u32| {
-                                for k in 0..count {
-                                    tr.event(
-                                        name,
-                                        "fault",
-                                        track,
-                                        start + dt * (k + 1) as f64,
-                                        vec![("dest", dest.into())],
-                                    );
-                                }
-                            };
-                            fault("retry", e.failed());
-                            fault("drop", e.drops);
-                            fault("corrupt", e.corrupts);
-                            fault("duplicate", e.dups);
-                        }
-                    }
-                    clock = sender_clock[0];
+                let streamed = self.config.pipeline == PipelineMode::Streamed;
+                // Root prologue: prep runs first; `Barrier` additionally
+                // charges the whole pack lump before anything leaves.
+                let mut start_clock = root_prep_s;
+                if !streamed && total_pack > 0.0 {
+                    tr.span(
+                        "root:pack",
+                        "prep",
+                        Track::Root,
+                        start_clock,
+                        start_clock + total_pack,
+                        vec![],
+                    );
+                    start_clock += total_pack;
                 }
 
-                // Root sends sequentially (single NIC): task i's payload
-                // lands only after every earlier attempt — including each
-                // failed attempt's ack timeout — has passed. Streamed mode
-                // interleaves each task's pack right before its send: while
-                // this root core packs for task i, every earlier task is
-                // already in flight or computing.
-                let mut send_done = Vec::with_capacity(n_tasks);
-                for (i, (t, route)) in tasks.iter().zip(&routes).enumerate() {
-                    if self.config.pipeline == PipelineMode::Streamed && t.pack_s > 0.0 {
-                        tr.span(
-                            "root:pack",
-                            "prep",
-                            Track::Root,
-                            clock,
-                            clock + t.pack_s,
-                            vec![("task", i.into())],
-                        );
-                        clock += t.pack_s;
-                    }
-                    for (h, hop) in route.hops.iter().enumerate() {
-                        let hop_bytes = t.hop_bytes(hop.dest);
-                        let dt = cost.transfer_time(hop_bytes);
-                        let hop_start = clock;
-                        let hop_s = dt * (hop.attempts + hop.dups) as f64
+                // --- Reduce the dispatch to pure durations (a SimProblem).
+                // comm_s accumulates in canonical order — environment edges,
+                // then task hops, then returns below — so the breakdown is
+                // bit-identical whichever core lays the timeline.
+                let mut comm_s = 0.0f64;
+                let mut sim_env: Vec<SimEnvEdge> = Vec::with_capacity(env_edges.len());
+                let mut env_dt: Vec<f64> = Vec::with_capacity(env_edges.len());
+                for e in &env_edges {
+                    let sender_rank =
+                        if e.sender_pos == 0 { ROOT } else { participants[e.sender_pos] };
+                    let dest_rank = participants[e.dest_pos];
+                    let dt = cost.edge_time(sender_rank, dest_rank, bcast_bytes);
+                    let edge_s = dt * e.copies() as f64 + timeout_s * e.failed() as f64;
+                    comm_s += edge_s;
+                    env_dt.push(dt);
+                    sim_env.push(SimEnvEdge {
+                        sender_pos: e.sender_pos,
+                        dest_pos: e.dest_pos,
+                        dest_rank,
+                        edge_s,
+                    });
+                }
+                let n_hops: usize = routes.iter().map(|r| r.hops.len()).sum();
+                let mut hop_s: Vec<f64> = Vec::with_capacity(n_hops);
+                let mut hop_dt: Vec<f64> = Vec::with_capacity(n_hops);
+                let mut hop_wire: Vec<usize> = Vec::with_capacity(n_hops);
+                let mut pack_s_v: Vec<f64> = Vec::with_capacity(n_tasks);
+                let mut resident_v: Vec<Option<ResidentSpec>> = Vec::with_capacity(n_tasks);
+                let mut sim_tasks: Vec<SimTask> = Vec::with_capacity(n_tasks);
+                for (t, route) in tasks.iter().zip(&routes) {
+                    let h0 = hop_s.len();
+                    for hop in &route.hops {
+                        let w = t.hop_bytes(hop.dest);
+                        let dt = cost.edge_time(ROOT, hop.dest, w);
+                        let s = dt * (hop.attempts + hop.dups) as f64
                             + timeout_s * hop.failed_attempts() as f64;
-                        clock += hop_s;
-                        comm_s += hop_s;
-                        if tr.enabled() {
+                        comm_s += s;
+                        hop_s.push(s);
+                        hop_dt.push(dt);
+                        hop_wire.push(w);
+                    }
+                    pack_s_v.push(t.pack_s);
+                    resident_v.push(t.resident);
+                    sim_tasks.push(SimTask {
+                        pack_s: if streamed { t.pack_s } else { 0.0 },
+                        exec: route.exec,
+                        elapsed: 0.0, // measured below, once the task has run
+                        ret_s: 0.0,   // filled once result sizes are known
+                        hops: h0..hop_s.len(),
+                    });
+                }
+
+                // --- Execute every task once, in task order. Execution is
+                // clockless: results and wall-measured node seconds feed the
+                // simulator; they never depend on it.
+                let mut node_compute = vec![0.0f64; n_nodes];
+                let mut results_bytes = Vec::with_capacity(n_tasks);
+                let mut sub_traces = Vec::with_capacity(n_tasks);
+                for (i, t) in tasks.into_iter().enumerate() {
+                    let exec = routes[i].exec;
+                    let node_tr = if tr.enabled() {
+                        TraceHandle::recording()
+                    } else {
+                        TraceHandle::disabled()
+                    };
+                    let ctx = NodeCtx::new(exec, tpn, ExecMode::Virtual, None).with_trace(node_tr);
+                    let result = (t.work)(&ctx);
+                    let rb = ctx.sequential_labeled("pack", "prep", || packed(&result));
+                    let elapsed = ctx.elapsed();
+                    node_compute[exec] += elapsed;
+                    sim_tasks[i].elapsed = elapsed;
+                    sub_traces.push(ctx.take_trace());
+                    results_bytes.push(rb);
+                }
+
+                // Return trips, planned and accounted in task order (the
+                // third leg of the canonical comm_s order). Each attempt
+                // pays a transfer and each failed attempt an ack timeout.
+                let mut bytes_back = 0u64;
+                let mut returns: Vec<(ReturnRoute, f64)> = Vec::with_capacity(n_tasks);
+                for (i, rb) in results_bytes.iter().enumerate() {
+                    let ret = plan_return(&plan, routes[i].exec, i);
+                    let copies = (ret.attempts + ret.dups) as u64;
+                    for _ in 0..copies {
+                        self.stats.record(rb.len());
+                    }
+                    messages += copies;
+                    bytes_back += rb.len() as u64 * copies;
+                    for _ in 0..ret.drops {
+                        self.stats.record_dropped();
+                    }
+                    for _ in 0..ret.corrupts {
+                        self.stats.record_corrupted();
+                    }
+                    for _ in 0..ret.dups {
+                        self.stats.record_duplicated();
+                    }
+                    let failed = (ret.attempts - 1) as u64;
+                    for _ in 0..failed {
+                        self.stats.record_retry();
+                    }
+                    retries += failed;
+                    let rdt = cost.edge_time(routes[i].exec, ROOT, rb.len());
+                    let path_s = rdt * copies as f64 + timeout_s * failed as f64;
+                    comm_s += path_s;
+                    sim_tasks[i].ret_s = path_s;
+                    returns.push((ret, rdt));
+                }
+
+                // --- Lay the dispatch on the virtual clock (optionally with
+                // both cores, asserting bitwise agreement).
+                let problem = SimProblem {
+                    start_clock,
+                    n_nodes,
+                    n_participants: participants.len(),
+                    env_edges: &sim_env,
+                    hop_s: &hop_s,
+                    tasks: &sim_tasks,
+                };
+                let times = {
+                    let mut scratch = self.sim_scratch.lock().expect("sim scratch poisoned");
+                    if self.config.sim_check {
+                        let eager = sim::run_eager(&problem, &mut scratch);
+                        let event = sim::run_event(&problem, &mut scratch);
+                        sim::assert_cores_agree(&eager, &event);
+                        if self.config.core == SimCore::Eager {
+                            eager
+                        } else {
+                            event
+                        }
+                    } else {
+                        sim::run(self.config.core, &problem, &mut scratch)
+                    }
+                };
+                self.stats.record_sim(times.events, times.peak_heap as u64);
+                let mut finish = 0.0f64;
+                for &rd in &times.ret_done {
+                    finish = finish.max(rd);
+                }
+
+                // --- Render the canonical trace off the timeline (the exact
+                // record order of the pre-event dispatcher, so golden traces
+                // stay bit-identical).
+                if tr.enabled() {
+                    for (idx, e) in env_edges.iter().enumerate() {
+                        let (start, done) = times.env_bounds[idx];
+                        let dt = env_dt[idx];
+                        let dest = participants[e.dest_pos];
+                        let track = if e.sender_pos == 0 {
+                            Track::Root
+                        } else {
+                            Track::Node(participants[e.sender_pos])
+                        };
+                        let mut args = tree_edge_args(dest, ENV_TAG, e.depth, e.fanout);
+                        args.push(("bytes", bcast_bytes.into()));
+                        args.push(("attempts", (e.attempts as u64).into()));
+                        tr.span("comm:tree", "comm", track, start, done, args);
+                        let fault = |name: &'static str, count: u32| {
+                            for k in 0..count {
+                                tr.event(
+                                    name,
+                                    "fault",
+                                    track,
+                                    start + dt * (k + 1) as f64,
+                                    vec![("dest", dest.into())],
+                                );
+                            }
+                        };
+                        fault("retry", e.failed());
+                        fault("drop", e.drops);
+                        fault("corrupt", e.corrupts);
+                        fault("duplicate", e.dups);
+                    }
+                    for (i, route) in routes.iter().enumerate() {
+                        if streamed && pack_s_v[i] > 0.0 {
+                            tr.span(
+                                "root:pack",
+                                "prep",
+                                Track::Root,
+                                times.pack_start[i],
+                                times.pack_start[i] + pack_s_v[i],
+                                vec![("task", i.into())],
+                            );
+                        }
+                        let h0 = sim_tasks[i].hops.start;
+                        for (h, hop) in route.hops.iter().enumerate() {
+                            let (hop_start, hop_done) = times.hop_bounds[h0 + h];
+                            let dt = hop_dt[h0 + h];
                             tr.span(
                                 "send",
                                 "comm",
                                 Track::Root,
                                 hop_start,
-                                clock,
+                                hop_done,
                                 vec![
                                     ("task", i.into()),
                                     ("dest", hop.dest.into()),
-                                    ("bytes", hop_bytes.into()),
+                                    ("bytes", hop_wire[h0 + h].into()),
                                     ("attempts", (hop.attempts as u64).into()),
                                 ],
                             );
@@ -1078,7 +1237,7 @@ impl Cluster {
                                     "redispatch",
                                     "fault",
                                     Track::Root,
-                                    clock,
+                                    hop_done,
                                     vec![
                                         ("task", i.into()),
                                         ("from", hop.dest.into()),
@@ -1087,10 +1246,8 @@ impl Cluster {
                                 );
                             }
                         }
-                    }
-                    if tr.enabled() {
-                        if let Some(spec) = t.resident {
-                            let name = if routes[i].exec == spec.home {
+                        if let Some(spec) = resident_v[i] {
+                            let name = if route.exec == spec.home {
                                 "dist:resident-hit"
                             } else {
                                 "dist:resident-miss"
@@ -1099,116 +1256,57 @@ impl Cluster {
                                 name,
                                 "dist",
                                 Track::Root,
-                                clock,
+                                times.send_done[i],
                                 vec![
                                     ("task", i.into()),
                                     ("seg", spec.id.into()),
                                     ("home", spec.home.into()),
-                                    ("exec", routes[i].exec.into()),
+                                    ("exec", route.exec.into()),
                                 ],
                             );
                         }
                     }
-                    send_done.push(clock);
-                }
-
-                // Nodes execute one at a time (they share nothing); tasks
-                // landing on the same survivor serialize on its clock.
-                let mut node_free = vec![0.0f64; n_nodes];
-                let mut node_compute = vec![0.0f64; n_nodes];
-                let mut done_at = Vec::with_capacity(n_tasks);
-                let mut results_bytes = Vec::with_capacity(n_tasks);
-                for (i, t) in tasks.into_iter().enumerate() {
-                    let exec = routes[i].exec;
-                    let node_tr = if tr.enabled() {
-                        TraceHandle::recording()
-                    } else {
-                        TraceHandle::disabled()
-                    };
-                    let ctx = NodeCtx::new(exec, tpn, ExecMode::Virtual, None).with_trace(node_tr);
-                    let result = (t.work)(&ctx);
-                    let rb = ctx.sequential_labeled("pack", "prep", || packed(&result));
-                    let elapsed = ctx.elapsed();
-                    let start = send_done[i].max(node_free[exec]).max(env_arrival[exec]);
-                    let done = start + elapsed;
-                    if tr.enabled() {
-                        let mut sub = ctx.take_trace();
+                    for (i, mut sub) in sub_traces.into_iter().enumerate() {
+                        let (start, done) = times.node_bounds[i];
                         sub.shift(start);
                         tr.absorb(sub);
                         tr.span(
                             "node:task",
                             "dispatch",
-                            Track::Node(exec),
+                            Track::Node(routes[i].exec),
                             start,
                             done,
                             vec![("task", i.into())],
                         );
                     }
-                    node_free[exec] = done;
-                    node_compute[exec] += elapsed;
-                    done_at.push(done);
-                    results_bytes.push(rb);
-                }
-
-                // Results stream back; each attempt pays a transfer and
-                // each failed attempt an ack timeout before the retry.
-                let mut finish = 0.0f64;
-                let mut bytes_back = 0u64;
-                let mut ret_arrival = Vec::with_capacity(n_tasks);
-                for (i, rb) in results_bytes.iter().enumerate() {
-                    let ret = plan_return(&plan, routes[i].exec, i);
-                    let copies = (ret.attempts + ret.dups) as u64;
-                    for _ in 0..copies {
-                        self.stats.record(rb.len());
-                    }
-                    messages += copies;
-                    bytes_back += rb.len() as u64 * copies;
-                    for _ in 0..ret.drops {
-                        self.stats.record_dropped();
-                    }
-                    for _ in 0..ret.corrupts {
-                        self.stats.record_corrupted();
-                    }
-                    for _ in 0..ret.dups {
-                        self.stats.record_duplicated();
-                    }
-                    let failed = (ret.attempts - 1) as u64;
-                    for _ in 0..failed {
-                        self.stats.record_retry();
-                    }
-                    retries += failed;
-                    let path_s =
-                        cost.transfer_time(rb.len()) * copies as f64 + timeout_s * failed as f64;
-                    comm_s += path_s;
-                    if tr.enabled() {
+                    for (i, (ret, rdt)) in returns.iter().enumerate() {
+                        let done_at = times.node_bounds[i].1;
                         tr.span(
                             "return",
                             "comm",
                             Track::Root,
-                            done_at[i],
-                            done_at[i] + path_s,
+                            done_at,
+                            times.ret_done[i],
                             vec![
                                 ("task", i.into()),
                                 ("from", routes[i].exec.into()),
-                                ("bytes", rb.len().into()),
+                                ("bytes", results_bytes[i].len().into()),
                                 ("attempts", (ret.attempts as u64).into()),
                             ],
                         );
-                        let rdt = cost.transfer_time(rb.len());
-                        for k in 0..failed {
+                        for k in 0..(ret.attempts - 1) as u64 {
                             tr.event(
                                 "retry",
                                 "fault",
                                 Track::Root,
-                                done_at[i] + rdt * (k + 1) as f64,
+                                done_at + rdt * (k + 1) as f64,
                                 vec![("task", i.into()), ("from", routes[i].exec.into())],
                             );
                         }
                     }
-                    finish = finish.max(done_at[i] + path_s);
-                    ret_arrival.push(done_at[i] + path_s);
                 }
 
+                let ret_arrival = &times.ret_done;
                 let mut arrivals = vec![0.0f64; n_tasks];
                 let mut unpack_copied = 0u64;
                 let mut unpack_aliased = 0u64;
@@ -1261,7 +1359,7 @@ impl Cluster {
                                 .expect("arrival times are finite")
                                 .then(a.cmp(&b))
                         });
-                        let mut uclock = clock; // root NIC/core free after last send
+                        let mut uclock = times.root_free; // root free after last send
                         let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
                         let mut spans = vec![(0.0f64, 0.0f64); n_tasks];
                         let mut moved = vec![(0u64, 0u64); n_tasks];
@@ -1689,8 +1787,7 @@ mod tests {
 
     #[test]
     fn comm_cost_scales_with_bytes() {
-        let cfg = ClusterConfig::virtual_cluster(2, 1)
-            .with_cost(CostModel { latency_s: 0.0, bandwidth_bps: 1e6 });
+        let cfg = ClusterConfig::virtual_cluster(2, 1).with_cost(CostModel::flat(0.0, 1e6));
         let cluster = Cluster::new(cfg);
         let big = vec![0u8; 1_000_000];
         let small = vec![0u8; 10];
@@ -1930,9 +2027,16 @@ mod tests {
         let out = Cluster::new(cfg).run(
             vec![vec![1u64; 64], vec![2; 64], vec![3; 64]],
             |ctx, v: Vec<u64>| {
-                // Long enough that a loaded host's scheduling jitter in the
-                // wall-measured pack times cannot push a pack span past it.
-                ctx.sequential(|| std::thread::sleep(std::time::Duration::from_millis(25)));
+                // Every compute is long enough that a loaded host's
+                // scheduling jitter in the wall-measured pack times cannot
+                // push a pack span past it (a shared 1-vCPU host can steal a
+                // whole scheduling quantum mid-measurement), and later tasks
+                // run progressively longer so arrivals are staggered by tens
+                // of milliseconds — not just by the µs-scale pack/send
+                // stagger — keeping the unpack-overlap assertion below
+                // robust to the same jitter.
+                let ms = 60 * v[0];
+                ctx.sequential(|| std::thread::sleep(std::time::Duration::from_millis(ms)));
                 v.iter().sum::<u64>()
             },
         );

@@ -31,6 +31,14 @@
 //! ack is still exercised indirectly whenever a data retransmission races a
 //! late ack.
 //!
+//! In virtual mode this same protocol is *modeled* rather than executed:
+//! the dispatcher folds every retransmission and ack timeout a [`FaultPlan`]
+//! schedules into per-edge durations, and the cluster's discrete-event core
+//! ([`crate::sim`]) lays them on the virtual clock as timestamped send,
+//! receive, and retry-timer events — so the timeline a trace shows under
+//! faults is the event-ordered replay of exactly the protocol implemented
+//! here.
+//!
 //! # Tree-structured collectives
 //!
 //! `broadcast`, `gather`, `reduce`, and `all_reduce` route over the

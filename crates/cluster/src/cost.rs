@@ -2,35 +2,101 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Linear latency/bandwidth model for inter-node transfers.
+/// Linear latency/bandwidth model for inter-node transfers, optionally with
+/// a second inter-rack tier.
 ///
 /// Transfer time of an `n`-byte message is `latency_s + n / bandwidth_bps`.
-/// The constants are printed beside every reproduced figure so results are
-/// interpretable; the defaults approximate the 10 GbE interconnect of the
-/// paper's EC2 cluster-compute instances.
+/// With `ranks_per_rack > 0` the model is *hierarchical*: ranks `r` and `s`
+/// share a rack iff `r / ranks_per_rack == s / ranks_per_rack`, and an edge
+/// crossing racks pays the (typically worse) `inter_latency_s` /
+/// `inter_bandwidth_bps` tier instead — the shape of a real fat-tree or
+/// rack-and-spine cluster, where large-rank simulations must see
+/// heterogeneous link costs. The constants are printed beside every
+/// reproduced figure so results are interpretable; the defaults approximate
+/// the 10 GbE interconnect of the paper's EC2 cluster-compute instances.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Fixed per-message cost in seconds (software + wire latency).
     pub latency_s: f64,
     /// Sustained bandwidth in bytes per second.
     pub bandwidth_bps: f64,
+    /// Ranks per rack for the hierarchical tier; `0` means flat (every edge
+    /// pays the base tier, the pre-hierarchy behavior).
+    pub ranks_per_rack: usize,
+    /// Per-message cost of a rack-crossing edge (unused when flat).
+    pub inter_latency_s: f64,
+    /// Bandwidth of a rack-crossing edge (unused when flat).
+    pub inter_bandwidth_bps: f64,
 }
 
 impl CostModel {
+    /// Flat single-tier model: every edge costs `latency_s + n / bandwidth`.
+    pub fn flat(latency_s: f64, bandwidth_bps: f64) -> Self {
+        CostModel {
+            latency_s,
+            bandwidth_bps,
+            ranks_per_rack: 0,
+            inter_latency_s: 0.0,
+            inter_bandwidth_bps: f64::INFINITY,
+        }
+    }
+
+    /// Two-tier rack model: ranks are grouped `ranks_per_rack` to a rack;
+    /// same-rack edges pay the intra tier, rack-crossing edges the inter
+    /// tier. The root pseudo-rank (`usize::MAX`) is co-located with rack 0,
+    /// so root <-> rack-0 traffic stays intra-rack.
+    pub fn hierarchical(
+        ranks_per_rack: usize,
+        intra_latency_s: f64,
+        intra_bandwidth_bps: f64,
+        inter_latency_s: f64,
+        inter_bandwidth_bps: f64,
+    ) -> Self {
+        CostModel {
+            latency_s: intra_latency_s,
+            bandwidth_bps: intra_bandwidth_bps,
+            ranks_per_rack,
+            inter_latency_s,
+            inter_bandwidth_bps,
+        }
+    }
+
     /// Approximation of the paper's testbed: 10 GbE, ~40 us end-to-end
     /// message latency (EC2 cluster placement group, MPI software stack).
     pub fn ec2_10gbe() -> Self {
-        CostModel { latency_s: 40e-6, bandwidth_bps: 1.25e9 }
+        CostModel::flat(40e-6, 1.25e9)
     }
 
     /// A zero-cost network: isolates compute scaling from communication.
     pub fn free() -> Self {
-        CostModel { latency_s: 0.0, bandwidth_bps: f64::INFINITY }
+        CostModel::flat(0.0, f64::INFINITY)
     }
 
-    /// Seconds to move one `bytes`-sized message.
+    /// Seconds to move one `bytes`-sized message over the base (intra) tier.
     pub fn transfer_time(&self, bytes: usize) -> f64 {
         self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// The rack holding rank `r`; the root pseudo-rank maps to rack 0.
+    fn rack_of(&self, r: usize) -> usize {
+        if r == usize::MAX {
+            0
+        } else {
+            r / self.ranks_per_rack
+        }
+    }
+
+    /// Seconds to move one `bytes`-sized message from rank `a` to rank `b`.
+    ///
+    /// Flat models (and same-rack edges of hierarchical ones) produce
+    /// exactly [`transfer_time`](Self::transfer_time) — bit-identical, so
+    /// enabling the hierarchy never perturbs flat-model timelines.
+    pub fn edge_time(&self, a: usize, b: usize, bytes: usize) -> f64 {
+        if self.ranks_per_rack == 0 || self.rack_of(a) == self.rack_of(b) {
+            self.transfer_time(bytes)
+        } else {
+            self.inter_latency_s + bytes as f64 / self.inter_bandwidth_bps
+        }
     }
 }
 
@@ -61,6 +127,8 @@ pub struct TrafficStats {
     resident_misses: AtomicU64,
     unpack_copied: AtomicU64,
     unpack_aliased: AtomicU64,
+    sim_events: AtomicU64,
+    sim_peak_heap: AtomicU64,
 }
 
 impl TrafficStats {
@@ -135,6 +203,17 @@ impl TrafficStats {
         self.unpack_aliased.fetch_add(aliased, Ordering::Relaxed);
     }
 
+    /// Record one virtual-time simulation: `events` heap events processed
+    /// and the event heap's peak length. The event counter accumulates
+    /// across dispatches (events/sec is the simulator's throughput metric);
+    /// the peak is a high-water mark over all dispatches since the last
+    /// [`reset`](Self::reset). The eager core processes no events and
+    /// records `(0, 0)`.
+    pub fn record_sim(&self, events: u64, peak_heap: u64) {
+        self.sim_events.fetch_add(events, Ordering::Relaxed);
+        self.sim_peak_heap.fetch_max(peak_heap, Ordering::Relaxed);
+    }
+
     /// Messages recorded so far.
     pub fn messages(&self) -> u64 {
         self.msgs.load(Ordering::Relaxed)
@@ -200,6 +279,17 @@ impl TrafficStats {
         self.unpack_aliased.load(Ordering::Relaxed)
     }
 
+    /// Event-heap events processed by the virtual-time simulator so far.
+    pub fn sim_events(&self) -> u64 {
+        self.sim_events.load(Ordering::Relaxed)
+    }
+
+    /// Peak event-heap length across all simulations since the last reset —
+    /// the simulator's resident state high-water mark.
+    pub fn sim_peak_heap(&self) -> u64 {
+        self.sim_peak_heap.load(Ordering::Relaxed)
+    }
+
     /// Zero the counters (between experiments).
     pub fn reset(&self) {
         self.msgs.store(0, Ordering::Relaxed);
@@ -215,6 +305,8 @@ impl TrafficStats {
         self.resident_misses.store(0, Ordering::Relaxed);
         self.unpack_copied.store(0, Ordering::Relaxed);
         self.unpack_aliased.store(0, Ordering::Relaxed);
+        self.sim_events.store(0, Ordering::Relaxed);
+        self.sim_peak_heap.store(0, Ordering::Relaxed);
     }
 }
 
@@ -261,7 +353,7 @@ mod tests {
 
     #[test]
     fn transfer_time_is_affine() {
-        let m = CostModel { latency_s: 1e-3, bandwidth_bps: 1e6 };
+        let m = CostModel::flat(1e-3, 1e6);
         assert!((m.transfer_time(0) - 1e-3).abs() < 1e-12);
         assert!((m.transfer_time(1_000_000) - 1.001).abs() < 1e-9);
     }
@@ -270,6 +362,51 @@ mod tests {
     fn free_model_is_zero() {
         let m = CostModel::free();
         assert_eq!(m.transfer_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_edge_costs_are_pinned() {
+        // 4 ranks per rack; intra tier 1ms + 1 MB/s, inter tier 10ms +
+        // 0.1 MB/s. Pin the exact edge costs the simulator will charge.
+        let m = CostModel::hierarchical(4, 1e-3, 1e6, 10e-3, 1e5);
+        // Same rack (ranks 0 and 3 share rack 0): intra tier.
+        assert_eq!(m.edge_time(0, 3, 1000), 1e-3 + 1000.0 / 1e6);
+        // Rack boundary (rank 3 in rack 0, rank 4 in rack 1): inter tier.
+        assert_eq!(m.edge_time(3, 4, 1000), 10e-3 + 1000.0 / 1e5);
+        // Far racks cost the same single inter hop (two-tier, not distance).
+        assert_eq!(m.edge_time(0, 15, 1000), m.edge_time(3, 4, 1000));
+        // The root pseudo-rank lives in rack 0: intra to rack 0, inter out.
+        assert_eq!(m.edge_time(usize::MAX, 2, 64), 1e-3 + 64.0 / 1e6);
+        assert_eq!(m.edge_time(usize::MAX, 9, 64), 10e-3 + 64.0 / 1e5);
+        assert_eq!(m.edge_time(9, usize::MAX, 64), m.edge_time(usize::MAX, 9, 64));
+    }
+
+    #[test]
+    fn flat_edge_time_matches_transfer_time_bitwise() {
+        let m = CostModel::ec2_10gbe();
+        for bytes in [0usize, 1, 8, 1 << 12, 1 << 20, 1 << 28] {
+            for (a, b) in [(usize::MAX, 0), (0, usize::MAX), (3, 7), (1000, 2000)] {
+                assert_eq!(
+                    m.edge_time(a, b, bytes).to_bits(),
+                    m.transfer_time(bytes).to_bits(),
+                    "flat edge {a}->{b} must be bit-identical for {bytes} bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_counters_accumulate_max_and_reset() {
+        let s = TrafficStats::new();
+        s.record_sim(100, 32);
+        s.record_sim(50, 16);
+        assert_eq!(s.sim_events(), 150);
+        assert_eq!(s.sim_peak_heap(), 32, "peak is a max, not a sum");
+        s.record_sim(0, 64);
+        assert_eq!(s.sim_peak_heap(), 64);
+        s.reset();
+        assert_eq!(s.sim_events(), 0);
+        assert_eq!(s.sim_peak_heap(), 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod comm;
 pub mod cost;
 pub mod fault;
 pub mod node;
+pub mod sim;
 pub mod tree;
 
 pub use cluster::{
@@ -44,4 +45,5 @@ pub use comm::{Comm, CommError, CommHandle, REPLY_TAG_BIT};
 pub use cost::{CostModel, DistTiming, TrafficStats};
 pub use fault::{FaultDecision, FaultPlan};
 pub use node::{ExecMode, NodeCtx, ResidentStore};
+pub use sim::SimCore;
 pub use triolet_obs::{TraceData, TraceHandle, Track};

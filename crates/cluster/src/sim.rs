@@ -1,0 +1,689 @@
+//! The virtual-time simulator cores: eager walk vs discrete-event heap.
+//!
+//! Virtual mode separates *what* a dispatch does (fault routing, task
+//! execution, byte accounting — all decided before any timeline exists)
+//! from *when* its pieces happen on the modeled clock. This module owns the
+//! "when": given a [`SimProblem`] — the durations of every timed piece of
+//! one collective (environment-broadcast edges, per-task root pack times,
+//! send hops with their ack/retry timeouts folded in, node compute times,
+//! return trips) — a core produces the full [`SimTimes`] timeline.
+//!
+//! Two interchangeable cores:
+//!
+//! * [`SimCore::Eager`] — the original three-pass walk: replay the
+//!   environment tree with a per-participant clock vector, chain every
+//!   send on the root NIC, then sweep tasks in order. Simple, but each
+//!   collective step allocates `O(participants)` clock state and the walk
+//!   is structured around full-vector passes.
+//! * [`SimCore::Event`] (the default) — a single binary event heap of
+//!   timestamped sends, receives, ack/retry-extended hops, and task
+//!   completions, popped in deterministic `(time, push-order)` order. A
+//!   skeleton call is processed in `O(E log E)` heap operations with
+//!   `O(ranks)` resident state, which is what makes 1k–10k-rank topologies
+//!   benchable in CI.
+//!
+//! Both cores run against reusable [`SimScratch`] buffers owned by the
+//! cluster, so a collective step allocates no per-step clock vectors
+//! (capacity is retained across dispatches). The cores are *bit-identical*:
+//! every `f64` in [`SimTimes`] is produced by the same additions and
+//! `max` chains in the same order, so makespans, trace span bounds, and
+//! streamed-arrival times agree to the last bit — property-tested in
+//! `tests/proptest_scale.rs` and asserted in-dispatch by
+//! [`ClusterConfig::with_sim_check`](crate::ClusterConfig::with_sim_check).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which virtual-time core computes dispatch timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimCore {
+    /// The pre-event three-pass walk (kept for ablation and equivalence
+    /// testing).
+    Eager,
+    /// The discrete-event heap (the default).
+    #[default]
+    Event,
+}
+
+/// One environment-broadcast edge, reduced to what the timeline needs: the
+/// participant positions it connects, the destination's cluster rank, and
+/// its full duration (every transmission copy plus every ack timeout).
+pub(crate) struct SimEnvEdge {
+    /// Sender's index into the participant list (0 = root).
+    pub sender_pos: usize,
+    /// Destination's index into the participant list.
+    pub dest_pos: usize,
+    /// Destination's cluster rank (what task execution is gated on).
+    pub dest_rank: usize,
+    /// Seconds the edge occupies its sender's NIC.
+    pub edge_s: f64,
+}
+
+/// One task, reduced to its timed pieces.
+pub(crate) struct SimTask {
+    /// Root-side pack seconds charged immediately before this task's first
+    /// hop (already zeroed by the caller under `PipelineMode::Barrier`,
+    /// which charges packing as one prologue lump in the start clock).
+    pub pack_s: f64,
+    /// Rank that finally executes the task.
+    pub exec: usize,
+    /// Wall-measured node seconds (compute + result pack).
+    pub elapsed: f64,
+    /// Return-trip seconds (every copy plus every ack timeout).
+    pub ret_s: f64,
+    /// This task's slice of [`SimProblem::hop_s`].
+    pub hops: std::ops::Range<usize>,
+}
+
+/// Everything a core needs to lay one dispatch on the virtual clock.
+pub(crate) struct SimProblem<'a> {
+    /// Root clock when the first payload may leave (prep + barrier pack).
+    pub start_clock: f64,
+    /// Cluster size (per-rank state is sized by this).
+    pub n_nodes: usize,
+    /// Environment-broadcast participant count (0 when no broadcast).
+    pub n_participants: usize,
+    /// Broadcast edges in transmission order (each sender's edges are
+    /// contiguous, and a participant's arrival edge precedes its outgoing
+    /// edges — the invariant both cores rely on).
+    pub env_edges: &'a [SimEnvEdge],
+    /// Durations of every task hop, flattened task-major.
+    pub hop_s: &'a [f64],
+    /// The tasks, in dispatch order.
+    pub tasks: &'a [SimTask],
+}
+
+/// The complete timeline of one dispatch, in seconds from the root-prep
+/// origin. Every field is a pure function of the [`SimProblem`]; the two
+/// cores must agree on all of it bitwise.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SimTimes {
+    /// `(start, done)` of each environment edge, in edge order.
+    pub env_bounds: Vec<(f64, f64)>,
+    /// When the root began packing each task (== first hop start when the
+    /// task has no pack time).
+    pub pack_start: Vec<f64>,
+    /// `(start, done)` of every hop, aligned with [`SimProblem::hop_s`].
+    pub hop_bounds: Vec<(f64, f64)>,
+    /// When each task's payload finished leaving the root.
+    pub send_done: Vec<f64>,
+    /// `(start, done)` of each task's node execution.
+    pub node_bounds: Vec<(f64, f64)>,
+    /// When each task's result reached the root.
+    pub ret_done: Vec<f64>,
+    /// Root clock after its last send (where the streamed unpacker starts).
+    pub root_free: f64,
+    /// Heap events processed (0 for the eager core).
+    pub events: u64,
+    /// Peak event-heap length (0 for the eager core).
+    pub peak_heap: usize,
+}
+
+impl SimTimes {
+    fn with_capacity(n_env: usize, n_hops: usize, n_tasks: usize, start_clock: f64) -> Self {
+        SimTimes {
+            env_bounds: Vec::with_capacity(n_env),
+            pack_start: Vec::with_capacity(n_tasks),
+            hop_bounds: Vec::with_capacity(n_hops),
+            send_done: Vec::with_capacity(n_tasks),
+            node_bounds: Vec::with_capacity(n_tasks),
+            ret_done: Vec::with_capacity(n_tasks),
+            root_free: start_clock,
+            events: 0,
+            peak_heap: 0,
+        }
+    }
+}
+
+/// One heap entry: a timestamped state change. Ordering is `(time,
+/// push-order)` — `total_cmp` on the time, monotonic sequence number as the
+/// tie-break — so the pop order is fully deterministic and independent of
+/// heap internals.
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    /// An environment edge finished transmitting (receive at its dest).
+    EnvDone { edge: usize },
+    /// The root NIC is free to pack and send the next task.
+    RootSend { task: usize },
+    /// One send hop — all its retries and ack timeouts — completed.
+    HopDone { task: usize, hop: usize },
+    /// A task's payload arrived intact at its executing rank.
+    TaskArrive { task: usize },
+    /// A task's node execution completed.
+    TaskDone { task: usize },
+    /// A task's result arrived back at the root.
+    ReturnArrive,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.to_bits() == other.time.to_bits() && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Reusable per-dispatch state, owned by the cluster so collective steps
+/// allocate no fresh clock vectors: `clear` + `resize` retain capacity, and
+/// the event heap keeps its backing storage across calls. Everything here
+/// is `O(ranks + participants)` resident.
+#[derive(Default)]
+pub(crate) struct SimScratch {
+    /// Eager core: per-participant NIC clock (the old `sender_clock`).
+    pos_clock: Vec<f64>,
+    /// Environment arrival time per rank (0.0 without a broadcast).
+    env_arrival: Vec<f64>,
+    /// Whether the environment has reached each rank yet (event core).
+    env_ready: Vec<bool>,
+    /// When each rank finishes its current task.
+    node_free: Vec<f64>,
+    /// Per participant: index of its first outgoing env edge.
+    first_edge: Vec<usize>,
+    /// Per participant: outgoing env edge count.
+    n_out: Vec<usize>,
+    /// Per participant: outgoing env edges completed so far (event core).
+    done_out: Vec<usize>,
+    /// Per rank: tasks that arrived before the environment did.
+    pending: Vec<Vec<usize>>,
+    /// The event heap (`Reverse` turns `BinaryHeap`'s max order into the
+    /// min-time order a simulator pops in).
+    heap: BinaryHeap<Reverse<Event>>,
+}
+
+fn refill<T: Clone>(v: &mut Vec<T>, n: usize, val: T) {
+    v.clear();
+    v.resize(n, val);
+}
+
+impl SimScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n_nodes: usize, n_participants: usize, env_gates: bool) {
+        refill(&mut self.pos_clock, n_participants, 0.0);
+        refill(&mut self.env_arrival, n_nodes, 0.0);
+        refill(&mut self.env_ready, n_nodes, !env_gates);
+        refill(&mut self.node_free, n_nodes, 0.0);
+        refill(&mut self.first_edge, n_participants, 0);
+        refill(&mut self.n_out, n_participants, 0);
+        refill(&mut self.done_out, n_participants, 0);
+        if self.pending.len() < n_nodes {
+            self.pending.resize_with(n_nodes, Vec::new);
+        }
+        for p in &mut self.pending {
+            p.clear();
+        }
+        self.heap.clear();
+    }
+}
+
+/// Run the configured core.
+pub(crate) fn run(core: SimCore, p: &SimProblem<'_>, scratch: &mut SimScratch) -> SimTimes {
+    match core {
+        SimCore::Eager => run_eager(p, scratch),
+        SimCore::Event => run_event(p, scratch),
+    }
+}
+
+/// The original walk: replay the environment tree over a per-participant
+/// clock vector, chain sends on the root NIC, sweep tasks in order.
+pub(crate) fn run_eager(p: &SimProblem<'_>, s: &mut SimScratch) -> SimTimes {
+    s.reset(p.n_nodes, p.n_participants, false);
+    let mut times =
+        SimTimes::with_capacity(p.env_edges.len(), p.hop_s.len(), p.tasks.len(), p.start_clock);
+    let mut clock = p.start_clock;
+
+    // Environment phase: each sender's NIC serializes its own edges while
+    // ranks already holding the payload relay concurrently.
+    if !p.env_edges.is_empty() {
+        s.pos_clock[0] = clock;
+        for e in p.env_edges {
+            let start = s.pos_clock[e.sender_pos];
+            let done = start + e.edge_s;
+            s.pos_clock[e.sender_pos] = done;
+            s.pos_clock[e.dest_pos] = done;
+            s.env_arrival[e.dest_rank] = done;
+            times.env_bounds.push((start, done));
+        }
+        clock = s.pos_clock[0];
+    }
+
+    // Send phase: the root packs (streamed) and transmits task payloads
+    // back to back on its single NIC, each hop paying every retry and ack
+    // timeout before the next begins.
+    for t in p.tasks {
+        times.pack_start.push(clock);
+        if t.pack_s > 0.0 {
+            clock += t.pack_s;
+        }
+        for h in t.hops.clone() {
+            let start = clock;
+            clock += p.hop_s[h];
+            times.hop_bounds.push((start, clock));
+        }
+        times.send_done.push(clock);
+    }
+
+    // Node phase: a task starts when its payload, its rank, and the
+    // broadcast environment are all ready; tasks landing on the same rank
+    // serialize on its clock.
+    for (i, t) in p.tasks.iter().enumerate() {
+        let start = times.send_done[i].max(s.node_free[t.exec]).max(s.env_arrival[t.exec]);
+        let done = start + t.elapsed;
+        s.node_free[t.exec] = done;
+        times.node_bounds.push((start, done));
+    }
+
+    // Return phase: results stream back independently.
+    for (i, t) in p.tasks.iter().enumerate() {
+        times.ret_done.push(times.node_bounds[i].1 + t.ret_s);
+    }
+    times.root_free = clock;
+    times
+}
+
+/// The discrete-event core: one heap, popped in `(time, push-order)` order.
+///
+/// Per-rank state replaces the eager core's full-vector passes: a rank
+/// holds its NIC clock, its environment-arrival flag, and a (normally
+/// empty) list of tasks parked awaiting the environment. Values are
+/// bit-identical to the eager walk because every handler performs the same
+/// additions and `max` chains on the same operands — the heap only decides
+/// *when* a handler runs, never what it computes — and because arrivals at
+/// any rank are processed in task order (root sends serialize them; the
+/// sequence tie-break preserves that order at equal timestamps).
+pub(crate) fn run_event(p: &SimProblem<'_>, s: &mut SimScratch) -> SimTimes {
+    let n_tasks = p.tasks.len();
+    s.reset(p.n_nodes, p.n_participants, !p.env_edges.is_empty());
+    let mut times = SimTimes {
+        env_bounds: vec![(0.0, 0.0); p.env_edges.len()],
+        pack_start: vec![0.0; n_tasks],
+        hop_bounds: vec![(0.0, 0.0); p.hop_s.len()],
+        send_done: vec![0.0; n_tasks],
+        node_bounds: vec![(0.0, 0.0); n_tasks],
+        ret_done: vec![0.0; n_tasks],
+        root_free: p.start_clock,
+        events: 0,
+        peak_heap: 0,
+    };
+
+    // Each sender's outgoing edges form one contiguous run of the edge
+    // list (ascending-sender transmission order), so per-participant
+    // `(first, count, completed)` cursors replace any per-edge queues.
+    for (idx, e) in p.env_edges.iter().enumerate() {
+        if s.n_out[e.sender_pos] == 0 {
+            s.first_edge[e.sender_pos] = idx;
+        } else {
+            debug_assert_eq!(
+                s.first_edge[e.sender_pos] + s.n_out[e.sender_pos],
+                idx,
+                "env edges of one sender must be contiguous"
+            );
+        }
+        s.n_out[e.sender_pos] += 1;
+    }
+
+    let mut seq = 0u64;
+    macro_rules! push {
+        ($time:expr, $kind:expr) => {{
+            seq += 1;
+            s.heap.push(Reverse(Event { time: $time, seq, kind: $kind }));
+            if s.heap.len() > times.peak_heap {
+                times.peak_heap = s.heap.len();
+            }
+        }};
+    }
+    // An edge occupies its sender's NIC from `start`; its receive fires at
+    // `start + edge_s`.
+    macro_rules! send_env_edge {
+        ($idx:expr, $start:expr) => {{
+            let idx = $idx;
+            let start = $start;
+            let done = start + p.env_edges[idx].edge_s;
+            times.env_bounds[idx] = (start, done);
+            push!(done, EventKind::EnvDone { edge: idx });
+        }};
+    }
+    // A task starts once its payload, its rank, and the environment are
+    // all present — the identical `max` chain the eager core evaluates.
+    macro_rules! start_task {
+        ($i:expr) => {{
+            let i = $i;
+            let exec = p.tasks[i].exec;
+            let start = times.send_done[i].max(s.node_free[exec]).max(s.env_arrival[exec]);
+            let done = start + p.tasks[i].elapsed;
+            s.node_free[exec] = done;
+            times.node_bounds[i] = (start, done);
+            push!(done, EventKind::TaskDone { task: i });
+        }};
+    }
+
+    // Kick off: the root's NIC either relays the environment first or, with
+    // no broadcast, turns straight to task sends.
+    if p.env_edges.is_empty() {
+        if n_tasks > 0 {
+            push!(p.start_clock, EventKind::RootSend { task: 0 });
+        }
+    } else {
+        send_env_edge!(s.first_edge[0], p.start_clock);
+    }
+
+    while let Some(Reverse(ev)) = s.heap.pop() {
+        times.events += 1;
+        let now = ev.time;
+        match ev.kind {
+            EventKind::EnvDone { edge } => {
+                let e = &p.env_edges[edge];
+                // Sender's NIC moves to its next queued edge.
+                s.done_out[e.sender_pos] += 1;
+                let k = s.done_out[e.sender_pos];
+                if k < s.n_out[e.sender_pos] {
+                    send_env_edge!(s.first_edge[e.sender_pos] + k, now);
+                } else if e.sender_pos == 0 {
+                    // The root finished relaying: its NIC turns to tasks.
+                    times.root_free = now;
+                    if n_tasks > 0 {
+                        push!(now, EventKind::RootSend { task: 0 });
+                    }
+                }
+                // The destination now holds the payload: it starts its own
+                // relays and releases any tasks parked on the environment.
+                s.env_arrival[e.dest_rank] = now;
+                s.env_ready[e.dest_rank] = true;
+                if s.n_out[e.dest_pos] > 0 {
+                    send_env_edge!(s.first_edge[e.dest_pos], now);
+                }
+                for j in 0..s.pending[e.dest_rank].len() {
+                    let parked = s.pending[e.dest_rank][j];
+                    start_task!(parked);
+                }
+                s.pending[e.dest_rank].clear();
+            }
+            EventKind::RootSend { task } => {
+                times.pack_start[task] = now;
+                let mut clock = now;
+                if p.tasks[task].pack_s > 0.0 {
+                    clock += p.tasks[task].pack_s;
+                }
+                let hops = p.tasks[task].hops.clone();
+                if let Some(h) = hops.clone().next() {
+                    let done = clock + p.hop_s[h];
+                    times.hop_bounds[h] = (clock, done);
+                    push!(done, EventKind::HopDone { task, hop: h });
+                } else {
+                    // A task always has at least one planned hop; keep the
+                    // degenerate case consistent anyway.
+                    times.send_done[task] = clock;
+                    times.root_free = clock;
+                    push!(clock, EventKind::TaskArrive { task });
+                    if task + 1 < n_tasks {
+                        push!(clock, EventKind::RootSend { task: task + 1 });
+                    }
+                }
+            }
+            EventKind::HopDone { task, hop } => {
+                if hop + 1 < p.tasks[task].hops.end {
+                    // Timed out on a dead rank: the root redispatches to
+                    // the next candidate, back on its own NIC.
+                    let done = now + p.hop_s[hop + 1];
+                    times.hop_bounds[hop + 1] = (now, done);
+                    push!(done, EventKind::HopDone { task, hop: hop + 1 });
+                } else {
+                    times.send_done[task] = now;
+                    times.root_free = now;
+                    push!(now, EventKind::TaskArrive { task });
+                    if task + 1 < n_tasks {
+                        push!(now, EventKind::RootSend { task: task + 1 });
+                    }
+                }
+            }
+            EventKind::TaskArrive { task } => {
+                let exec = p.tasks[task].exec;
+                if s.env_ready[exec] {
+                    start_task!(task);
+                } else {
+                    s.pending[exec].push(task);
+                }
+            }
+            EventKind::TaskDone { task } => {
+                let done = now + p.tasks[task].ret_s;
+                times.ret_done[task] = done;
+                push!(done, EventKind::ReturnArrive);
+            }
+            EventKind::ReturnArrive => {}
+        }
+    }
+    times
+}
+
+/// Panic unless two timelines agree to the last bit — the in-dispatch
+/// equivalence gate behind `ClusterConfig::with_sim_check`.
+pub(crate) fn assert_cores_agree(eager: &SimTimes, event: &SimTimes) {
+    fn pairs(name: &str, a: &[(f64, f64)], b: &[(f64, f64)]) {
+        assert_eq!(a.len(), b.len(), "sim-check: {name} length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.0.to_bits() == y.0.to_bits() && x.1.to_bits() == y.1.to_bits(),
+                "sim-check: {name}[{i}] diverged: eager {x:?} vs event {y:?}"
+            );
+        }
+    }
+    fn scalars(name: &str, a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len(), "sim-check: {name} length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "sim-check: {name}[{i}] diverged: eager {x} vs event {y}"
+            );
+        }
+    }
+    pairs("env_bounds", &eager.env_bounds, &event.env_bounds);
+    scalars("pack_start", &eager.pack_start, &event.pack_start);
+    pairs("hop_bounds", &eager.hop_bounds, &event.hop_bounds);
+    scalars("send_done", &eager.send_done, &event.send_done);
+    pairs("node_bounds", &eager.node_bounds, &event.node_bounds);
+    scalars("ret_done", &eager.ret_done, &event.ret_done);
+    assert!(
+        eager.root_free.to_bits() == event.root_free.to_bits(),
+        "sim-check: root_free diverged: eager {} vs event {}",
+        eager.root_free,
+        event.root_free
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(p: &SimProblem<'_>) -> (SimTimes, SimTimes) {
+        let mut scratch = SimScratch::new();
+        let eager = run_eager(p, &mut scratch);
+        let event = run_event(p, &mut scratch);
+        assert_cores_agree(&eager, &event);
+        (eager, event)
+    }
+
+    #[test]
+    fn trivial_two_tasks_chain_on_the_root_nic() {
+        let hop_s = vec![0.5, 0.25];
+        let tasks = vec![
+            SimTask { pack_s: 0.1, exec: 0, elapsed: 2.0, ret_s: 0.5, hops: 0..1 },
+            SimTask { pack_s: 0.1, exec: 1, elapsed: 1.0, ret_s: 0.5, hops: 1..2 },
+        ];
+        let p = SimProblem {
+            start_clock: 1.0,
+            n_nodes: 2,
+            n_participants: 0,
+            env_edges: &[],
+            hop_s: &hop_s,
+            tasks: &tasks,
+        };
+        let (t, _) = check(&p);
+        // Root: 1.0 +pack .1 +hop .5 => send_done[0]; +pack .1 +hop .25 =>
+        // send_done[1]. Expected values use the same chained additions.
+        let s0 = 1.0 + 0.1 + 0.5;
+        let s1 = s0 + 0.1 + 0.25;
+        assert_eq!(t.send_done, vec![s0, s1]);
+        assert_eq!(t.node_bounds, vec![(s0, s0 + 2.0), (s1, s1 + 1.0)]);
+        assert_eq!(t.ret_done, vec![s0 + 2.0 + 0.5, s1 + 1.0 + 0.5]);
+        assert_eq!(t.root_free, s1);
+    }
+
+    #[test]
+    fn same_rank_tasks_serialize_on_its_clock() {
+        let hop_s = vec![0.1, 0.1, 0.1];
+        let tasks: Vec<SimTask> = (0..3)
+            .map(|i| SimTask { pack_s: 0.0, exec: 0, elapsed: 1.0, ret_s: 0.0, hops: i..i + 1 })
+            .collect();
+        let p = SimProblem {
+            start_clock: 0.0,
+            n_nodes: 1,
+            n_participants: 0,
+            env_edges: &[],
+            hop_s: &hop_s,
+            tasks: &tasks,
+        };
+        let (t, _) = check(&p);
+        // Arrivals at 0.1/0.2/0.3 but rank 0 runs them back to back.
+        assert_eq!(t.node_bounds, vec![(0.1, 1.1), (1.1, 2.1), (2.1, 3.1)]);
+    }
+
+    #[test]
+    fn late_environment_parks_early_arrivals() {
+        // Env relays down a slow chain (root -> r0 -> r1 -> r2) while task
+        // payloads leave the root the moment its own relay is done: tasks
+        // for r1 and r2 arrive *before* their environment and must park
+        // until the relay reaches them. Both cores must agree exactly.
+        let env = vec![
+            SimEnvEdge { sender_pos: 0, dest_pos: 1, dest_rank: 0, edge_s: 1.0 },
+            SimEnvEdge { sender_pos: 1, dest_pos: 2, dest_rank: 1, edge_s: 1.0 },
+            SimEnvEdge { sender_pos: 2, dest_pos: 3, dest_rank: 2, edge_s: 1.0 },
+        ];
+        let hop_s = vec![0.01, 0.01, 0.01];
+        let tasks: Vec<SimTask> = (0..3)
+            .map(|i| SimTask { pack_s: 0.0, exec: i, elapsed: 0.1, ret_s: 0.2, hops: i..i + 1 })
+            .collect();
+        let p = SimProblem {
+            start_clock: 0.0,
+            n_nodes: 3,
+            n_participants: 4,
+            env_edges: &env,
+            hop_s: &hop_s,
+            tasks: &tasks,
+        };
+        let (t, ev) = check(&p);
+        // The root is free after its single relay at 1.0; payloads land at
+        // 1.01/1.02/1.03, but the environment reaches r1 at 2.0 and r2 at
+        // 3.0 — those tasks start at their env arrival, not their payload.
+        assert_eq!(t.env_bounds, vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        assert_eq!(t.send_done, vec![1.01, 1.02, 1.03]);
+        assert_eq!(t.node_bounds[0].0, 1.01);
+        assert_eq!(t.node_bounds[1].0, 2.0);
+        assert_eq!(t.node_bounds[2].0, 3.0);
+        assert!(ev.events > 0 && ev.peak_heap > 0);
+    }
+
+    #[test]
+    fn relayed_tree_broadcast_matches_between_cores() {
+        // A 5-participant binomial-ish shape: root sends to pos 1 and 2;
+        // pos 1 relays to 3 and 4 concurrently with the root's second send.
+        let env = vec![
+            SimEnvEdge { sender_pos: 0, dest_pos: 1, dest_rank: 0, edge_s: 1.0 },
+            SimEnvEdge { sender_pos: 0, dest_pos: 2, dest_rank: 1, edge_s: 1.0 },
+            SimEnvEdge { sender_pos: 1, dest_pos: 3, dest_rank: 2, edge_s: 1.0 },
+            SimEnvEdge { sender_pos: 1, dest_pos: 4, dest_rank: 3, edge_s: 1.0 },
+        ];
+        let hop_s = vec![0.5; 4];
+        let tasks: Vec<SimTask> = (0..4)
+            .map(|i| SimTask { pack_s: 0.05, exec: i, elapsed: 0.3, ret_s: 0.1, hops: i..i + 1 })
+            .collect();
+        let p = SimProblem {
+            start_clock: 0.0,
+            n_nodes: 4,
+            n_participants: 5,
+            env_edges: &env,
+            hop_s: &hop_s,
+            tasks: &tasks,
+        };
+        let (t, _) = check(&p);
+        // Root's NIC: edges at (0,1) and (1,2); pos 1 relays at (1,2),(2,3).
+        assert_eq!(t.env_bounds, vec![(0.0, 1.0), (1.0, 2.0), (1.0, 2.0), (2.0, 3.0)]);
+        // Rank 3's payload can arrive before its env (sends start at 2.0);
+        // its task start is gated on the 3.0 arrival.
+        assert!(t.node_bounds[3].0 >= 3.0);
+    }
+
+    #[test]
+    fn empty_problem_is_fine() {
+        let p = SimProblem {
+            start_clock: 0.25,
+            n_nodes: 4,
+            n_participants: 0,
+            env_edges: &[],
+            hop_s: &[],
+            tasks: &[],
+        };
+        let (t, _) = check(&p);
+        assert_eq!(t.root_free, 0.25);
+        assert!(t.send_done.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_calls() {
+        // Run a big problem, then a small one, on the same scratch: stale
+        // state must not leak (this is the satellite replacing the
+        // per-collective `sender_clock` allocations with reused buffers).
+        let mut scratch = SimScratch::new();
+        let hop_big: Vec<f64> = (0..64).map(|i| 0.01 * (i + 1) as f64).collect();
+        let tasks_big: Vec<SimTask> = (0..64)
+            .map(|i| SimTask {
+                pack_s: 0.001,
+                exec: i % 8,
+                elapsed: 0.5,
+                ret_s: 0.01,
+                hops: i..i + 1,
+            })
+            .collect();
+        let big = SimProblem {
+            start_clock: 0.0,
+            n_nodes: 8,
+            n_participants: 0,
+            env_edges: &[],
+            hop_s: &hop_big,
+            tasks: &tasks_big,
+        };
+        let _ = run_event(&big, &mut scratch);
+        let hop_small = vec![1.0];
+        let tasks_small =
+            vec![SimTask { pack_s: 0.0, exec: 0, elapsed: 1.0, ret_s: 1.0, hops: 0..1 }];
+        let small = SimProblem {
+            start_clock: 0.0,
+            n_nodes: 1,
+            n_participants: 0,
+            env_edges: &[],
+            hop_s: &hop_small,
+            tasks: &tasks_small,
+        };
+        let reused = run_event(&small, &mut scratch);
+        let fresh = run_event(&small, &mut SimScratch::new());
+        assert_cores_agree(&fresh, &reused);
+    }
+}

@@ -52,6 +52,23 @@ pub fn children(v: usize, m: usize) -> Vec<usize> {
     out
 }
 
+/// Number of children of relative rank `v` in a tree of `m` participants —
+/// [`children`]`.len()` without materializing the list, so per-edge callers
+/// (fan-out annotations on every broadcast edge) stay allocation-free.
+pub fn fanout(v: usize, m: usize) -> usize {
+    let lowbit = if v == 0 { usize::MAX } else { v & v.wrapping_neg() };
+    let mut n = 0usize;
+    let mut k = 1usize;
+    while k < lowbit {
+        if v + k >= m {
+            break;
+        }
+        n += 1;
+        k <<= 1;
+    }
+    n
+}
+
 /// Arrival offsets of every participant relative to the root starting its
 /// first send at time 0, with per-edge costs supplied by `edge_cost(sender,
 /// child)`.

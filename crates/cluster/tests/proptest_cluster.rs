@@ -50,7 +50,7 @@ proptest! {
         sizes in proptest::collection::vec(1usize..5000, 1..6),
         latency_us in 0u64..200,
     ) {
-        let cost = CostModel { latency_s: latency_us as f64 * 1e-6, bandwidth_bps: 1e9 };
+        let cost = CostModel::flat(latency_us as f64 * 1e-6, 1e9);
         let n = sizes.len();
         let cluster = Cluster::new(ClusterConfig::virtual_cluster(n, 1).with_cost(cost));
         let payloads: Vec<Vec<u8>> = sizes.iter().map(|&s| vec![0u8; s]).collect();

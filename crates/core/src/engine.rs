@@ -24,6 +24,17 @@
 //! the cluster is built with
 //! [`ClusterConfig::with_trace`](triolet_cluster::ClusterConfig::with_trace)
 //! — a recorded span/event timeline rooted at a `skeleton:<name>` span.
+//!
+//! In virtual mode the dispatch timeline under every skeleton call is laid
+//! by the cluster's discrete-event simulator core
+//! ([`SimCore`](triolet_cluster::SimCore), selectable via
+//! [`ClusterConfig::with_sim_core`](triolet_cluster::ClusterConfig::with_sim_core)),
+//! which processes a call in `O(E log E)` heap events with `O(ranks)`
+//! resident state — the property that makes 1k–10k-rank shapes usable from
+//! the skeleton API. Results, [`RunStats`] accounting, and traces are
+//! bit-identical between cores
+//! ([`ClusterConfig::with_sim_check`](triolet_cluster::ClusterConfig::with_sim_check)
+//! asserts it in-dispatch).
 
 use std::sync::Arc;
 use std::time::Instant;

@@ -62,7 +62,7 @@ pub use run::Run;
 // Re-export the substrate crates under the facade.
 pub use triolet_cluster::{
     Cluster, ClusterConfig, CostModel, DispatchError, DistTiming, ExecMode, FaultPlan, NodeCtx,
-    PipelineMode, Topology, TraceData, TraceHandle, Track, TrafficStats,
+    PipelineMode, SimCore, Topology, TraceData, TraceHandle, Track, TrafficStats,
 };
 pub use triolet_domain::{Dim2, Dim2Part, Dim3, Dim3Part, Domain, Part, Seq, SeqPart};
 pub use triolet_iter::{
@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::report::RunStats;
     pub use crate::run::Run;
     pub use triolet_cluster::{
-        ClusterConfig, CostModel, ExecMode, FaultPlan, PipelineMode, Topology, TraceData,
+        ClusterConfig, CostModel, ExecMode, FaultPlan, PipelineMode, SimCore, Topology, TraceData,
     };
     pub use triolet_domain::{Dim2, Dim3, Domain, Part, Seq};
     pub use triolet_iter::prelude::*;

@@ -8,6 +8,44 @@
 //! makespan <= work/p + span), so the virtual makespan has the same shape —
 //! including load-imbalance effects from irregular tasks — as a real
 //! work-stealing execution.
+//!
+//! The earliest-free worker comes off a binary min-heap keyed `(free time,
+//! worker index)` — `O(n log p)` for `n` tasks on `p` workers instead of the
+//! old `O(n·p)` scan, the same event-heap discipline the cluster's
+//! discrete-event simulator uses — with `total_cmp` time ordering and the
+//! index tie-break reproducing the scan's first-minimum choice exactly, so
+//! schedules are bit-identical to the linear version.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One worker's availability on the heap. Ordering is `(free_at, worker)`
+/// via `total_cmp`, matching the linear scan's first-minimum tie-break
+/// (lowest worker index among equally free workers).
+struct Slot {
+    free_at: f64,
+    worker: usize,
+}
+
+impl PartialEq for Slot {
+    fn eq(&self, other: &Self) -> bool {
+        self.free_at.to_bits() == other.free_at.to_bits() && self.worker == other.worker
+    }
+}
+
+impl Eq for Slot {}
+
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.free_at.total_cmp(&other.free_at).then(self.worker.cmp(&other.worker))
+    }
+}
 
 /// Result of scheduling a task list onto `workers` identical workers.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,22 +86,17 @@ impl Schedule {
 /// substantially outnumber workers.
 pub fn greedy_schedule(durations: &[f64], workers: usize) -> Schedule {
     let workers = workers.max(1);
-    let mut free_at = vec![0.0f64; workers];
+    let mut heap: BinaryHeap<Reverse<Slot>> =
+        (0..workers).map(|worker| Reverse(Slot { free_at: 0.0, worker })).collect();
     let mut assignment = Vec::with_capacity(durations.len());
     let mut start_times = Vec::with_capacity(durations.len());
     for &d in durations {
-        // Find the earliest-free worker (linear scan: worker counts are
-        // small and this runs outside any hot loop).
-        let (best, _) = free_at
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("durations are finite"))
-            .expect("workers >= 1");
-        start_times.push(free_at[best]);
-        free_at[best] += d.max(0.0);
-        assignment.push(best);
+        let Reverse(Slot { free_at, worker }) = heap.pop().expect("workers >= 1");
+        start_times.push(free_at);
+        heap.push(Reverse(Slot { free_at: free_at + d.max(0.0), worker }));
+        assignment.push(worker);
     }
-    let makespan = free_at.iter().cloned().fold(0.0f64, f64::max);
+    let makespan = heap.iter().map(|Reverse(s)| s.free_at).fold(0.0f64, f64::max);
     let mut worker_loads = vec![0.0f64; workers];
     for (task, &w) in assignment.iter().enumerate() {
         worker_loads[w] += durations[task].max(0.0);
@@ -156,6 +189,49 @@ mod tests {
         assert_eq!(s.start_times, vec![0.0, 0.0, 1.0, 1.0]);
         for (task, &w) in s.assignment.iter().enumerate() {
             assert!(s.start_times[task] <= s.worker_loads[w] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn heap_matches_linear_scan_bitwise() {
+        // The pre-heap implementation, kept as the reference: linear
+        // first-minimum scan over worker free times.
+        fn linear(durations: &[f64], workers: usize) -> Schedule {
+            let workers = workers.max(1);
+            let mut free_at = vec![0.0f64; workers];
+            let mut assignment = Vec::new();
+            let mut start_times = Vec::new();
+            for &d in durations {
+                let (best, _) = free_at
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .expect("workers >= 1");
+                start_times.push(free_at[best]);
+                free_at[best] += d.max(0.0);
+                assignment.push(best);
+            }
+            let makespan = free_at.iter().cloned().fold(0.0f64, f64::max);
+            let mut worker_loads = vec![0.0f64; workers];
+            for (task, &w) in assignment.iter().enumerate() {
+                worker_loads[w] += durations[task].max(0.0);
+            }
+            Schedule { makespan, assignment, start_times, worker_loads }
+        }
+        // Irregular durations with plenty of exact ties (repeated values)
+        // so the tie-break path is genuinely exercised.
+        let durations: Vec<f64> =
+            (0..200).map(|i| ((i * 7) % 5) as f64 * 0.125 + ((i % 3) as f64) * 0.25).collect();
+        for p in [1usize, 2, 3, 7, 16, 64] {
+            let a = linear(&durations, p);
+            let b = greedy_schedule(&durations, p);
+            assert_eq!(a.assignment, b.assignment, "p={p}");
+            assert_eq!(
+                a.start_times.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+                b.start_times.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+                "p={p}"
+            );
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "p={p}");
         }
     }
 

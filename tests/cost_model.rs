@@ -21,10 +21,16 @@ fn more_cores_never_model_slower_compute() {
     let xs: Vec<u64> = (0..2_000).collect();
     let mut prev = f64::INFINITY;
     for (nodes, tpn) in [(1, 1), (1, 4), (2, 4), (4, 4), (8, 16)] {
-        let cfg = ClusterConfig::virtual_cluster(nodes, tpn).with_cost(CostModel::free());
-        let rt = Triolet::new(cfg);
-        let stats = rt.sum(from_vec(xs.clone()).map(busy_value).par()).stats;
-        let span = stats.compute_span_s();
+        // Per-chunk costs are wall-measured, so take the best of two runs
+        // per shape — a shared-tenancy host can steal a scheduling quantum
+        // mid-measurement and skew a single run badly.
+        let span = (0..2)
+            .map(|_| {
+                let cfg = ClusterConfig::virtual_cluster(nodes, tpn).with_cost(CostModel::free());
+                let rt = Triolet::new(cfg);
+                rt.sum(from_vec(xs.clone()).map(busy_value).par()).stats.compute_span_s()
+            })
+            .fold(f64::INFINITY, f64::min);
         assert!(
             span <= prev * 1.35,
             "{nodes}x{tpn}: compute span {span} regressed badly from {prev}"
@@ -35,7 +41,7 @@ fn more_cores_never_model_slower_compute() {
 
 #[test]
 fn comm_time_scales_with_payload() {
-    let slow_net = CostModel { latency_s: 0.0, bandwidth_bps: 1e8 };
+    let slow_net = CostModel::flat(0.0, 1e8);
     let rt = |n: usize| {
         Triolet::new(ClusterConfig::virtual_cluster(2, 1).with_cost(slow_net))
             .sum(from_vec(vec![1u8; n]).map(|x: u8| x as u64).par())
@@ -96,7 +102,7 @@ fn sgemm_block_traffic_grows_sublinearly_in_nodes() {
 
 #[test]
 fn virtual_total_includes_comm_and_compute() {
-    let net = CostModel { latency_s: 1e-3, bandwidth_bps: 1e9 };
+    let net = CostModel::flat(1e-3, 1e9);
     let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2).with_cost(net));
     let xs: Vec<u64> = (0..500).collect();
     let stats = rt.sum(from_vec(xs).map(busy_value).par()).stats;

@@ -126,14 +126,13 @@ fn streamed_makespan_not_worse_on_staggered_workload() {
         s.value.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         b.value.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
     );
-    // Wall-measured unpack/merge times jitter, so allow a small tolerance
-    // rather than demanding strict improvement on every host.
-    assert!(
-        s.stats.total_s <= b.stats.total_s * 1.10,
-        "streamed {} must not be slower than barrier {}",
-        s.stats.total_s,
-        b.stats.total_s
-    );
+    // Wall-measured unpack/merge times jitter badly on a shared-tenancy
+    // host (a stolen scheduling quantum mid-measurement skews one run), so
+    // compare best-of-two per mode with a small tolerance rather than
+    // demanding strict improvement on every run.
+    let s_best = s.stats.total_s.min(run(PipelineMode::Streamed).stats.total_s);
+    let b_best = b.stats.total_s.min(run(PipelineMode::Barrier).stats.total_s);
+    assert!(s_best <= b_best * 1.10, "streamed {s_best} must not be slower than barrier {b_best}");
 }
 
 #[test]

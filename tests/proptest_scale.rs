@@ -1,0 +1,182 @@
+//! Property-based cross-core equivalence: for random data, cluster shapes,
+//! topologies, pipeline modes, and seeded fault plans (including crashes),
+//! the discrete-event simulator core must agree with the eager walk on
+//! values (bitwise for floats), traffic accounting, and — via the
+//! in-dispatch dual-core check, which panics on the first bitwise timeline
+//! divergence — makespans and every span bound in between.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use triolet::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum PlanKind {
+    None,
+    Lossy,
+    Crashy,
+}
+
+fn plan_for(kind: PlanKind, seed: u64, nodes: usize) -> FaultPlan {
+    match kind {
+        PlanKind::None => FaultPlan::none(),
+        PlanKind::Lossy => FaultPlan::seeded(seed)
+            .with_drop(0.2)
+            .with_duplication(0.1)
+            .with_corruption(0.05)
+            .with_timeout(Duration::from_millis(1)),
+        PlanKind::Crashy => {
+            let plan =
+                FaultPlan::seeded(seed).with_drop(0.15).with_timeout(Duration::from_millis(1));
+            if nodes >= 2 {
+                // Crash a middle rank so its tasks redispatch to survivors.
+                plan.with_crash(nodes / 2)
+            } else {
+                plan
+            }
+        }
+    }
+}
+
+fn shapes() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=10, 1usize..=4)
+}
+
+/// The shimmed proptest has no `prop_oneof`; pick enums from an integer.
+fn topology_from(sel: u64) -> Topology {
+    if sel % 2 == 0 {
+        Topology::Linear
+    } else {
+        Topology::Tree
+    }
+}
+
+fn pipeline_from(sel: u64) -> PipelineMode {
+    if sel % 2 == 0 {
+        PipelineMode::Barrier
+    } else {
+        PipelineMode::Streamed
+    }
+}
+
+fn plan_kind_from(sel: u64) -> PlanKind {
+    match sel % 3 {
+        0 => PlanKind::None,
+        1 => PlanKind::Lossy,
+        _ => PlanKind::Crashy,
+    }
+}
+
+fn runtime(
+    nodes: usize,
+    tpn: usize,
+    topo: Topology,
+    pipe: PipelineMode,
+    plan: FaultPlan,
+    core: SimCore,
+) -> Triolet {
+    // sim_check runs *both* cores on every dispatch and asserts the
+    // timelines agree to the bit, whichever core's result is returned.
+    Triolet::new(
+        ClusterConfig::virtual_cluster(nodes, tpn)
+            .with_topology(topo)
+            .with_pipeline(pipe)
+            .with_faults(plan)
+            .with_sim_core(core)
+            .with_sim_check(true),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cores_agree_on_int_folds_and_accounting(
+        xs in proptest::collection::vec(-1000i64..1000, 0..600),
+        (nodes, tpn) in shapes(),
+        topo_sel in 0u64..2,
+        pipe_sel in 0u64..2,
+        kind_sel in 0u64..3,
+        seed in 0u64..1_000,
+    ) {
+        let (topo, pipe) = (topology_from(topo_sel), pipeline_from(pipe_sel));
+        let expect: i64 = xs.iter().sum();
+        let plan = plan_for(plan_kind_from(kind_sel), seed, nodes);
+        let run = |core: SimCore| {
+            let rt = runtime(nodes, tpn, topo, pipe, plan, core);
+            rt.fold_reduce(
+                from_vec(xs.clone()).par(),
+                &(),
+                || 0i64,
+                |(), a, x| a + x,
+                |a, b| a + b,
+            )
+        };
+        let eager = run(SimCore::Eager);
+        let event = run(SimCore::Event);
+        prop_assert_eq!(eager.value, expect);
+        prop_assert_eq!(event.value, expect);
+        prop_assert_eq!(eager.stats.messages, event.stats.messages);
+        prop_assert_eq!(eager.stats.retries, event.stats.retries);
+        prop_assert_eq!(eager.stats.redispatches, event.stats.redispatches);
+        prop_assert_eq!(eager.stats.bytes_out, event.stats.bytes_out);
+        prop_assert_eq!(eager.stats.bytes_back, event.stats.bytes_back);
+        // comm_s has no wall-measured component: bit-comparable across runs.
+        prop_assert_eq!(eager.stats.comm_s.to_bits(), event.stats.comm_s.to_bits());
+    }
+
+    #[test]
+    fn cores_agree_bitwise_on_float_folds(
+        xs in proptest::collection::vec(-1.0e6f64..1.0e6, 0..400),
+        (nodes, tpn) in shapes(),
+        topo_sel in 0u64..2,
+        pipe_sel in 0u64..2,
+        kind_sel in 0u64..3,
+        seed in 0u64..1_000,
+    ) {
+        let (topo, pipe) = (topology_from(topo_sel), pipeline_from(pipe_sel));
+        let plan = plan_for(plan_kind_from(kind_sel), seed, nodes);
+        let run = |core: SimCore| {
+            let rt = runtime(nodes, tpn, topo, pipe, plan, core);
+            rt.fold_reduce(
+                from_vec(xs.clone()).par(),
+                &(),
+                || 0.0f64,
+                |(), a, x| a + x,
+                |a, b| a + b,
+            )
+        };
+        let eager = run(SimCore::Eager);
+        let event = run(SimCore::Event);
+        prop_assert_eq!(
+            eager.value.to_bits(), event.value.to_bits(),
+            "float fold diverged: eager {} vs event {}", eager.value, event.value,
+        );
+    }
+
+    #[test]
+    fn hierarchical_costs_keep_cores_in_lockstep(
+        xs in proptest::collection::vec(-500i64..500, 1..400),
+        (nodes, tpn) in shapes(),
+        ranks_per_rack in 1usize..6,
+        kind_sel in 0u64..3,
+        seed in 0u64..1_000,
+    ) {
+        let cost = CostModel::hierarchical(ranks_per_rack, 5e-6, 4.0e9, 5e-5, 1.0e9);
+        let plan = plan_for(plan_kind_from(kind_sel), seed, nodes);
+        let rt = Triolet::new(
+            ClusterConfig::virtual_cluster(nodes, tpn)
+                .with_cost(cost)
+                .with_faults(plan)
+                .with_sim_check(true),
+        );
+        let run = rt.fold_reduce(
+            from_vec(xs.clone()).par(),
+            &(),
+            || 0i64,
+            |(), a, x| a + x,
+            |a, b| a + b,
+        );
+        prop_assert_eq!(run.value, xs.iter().sum::<i64>());
+    }
+}

@@ -1,0 +1,165 @@
+//! The event-driven virtual-time core: cross-core equivalence and scale.
+//!
+//! Two things are gated here. First, *equivalence*: the discrete-event heap
+//! and the eager walk must produce identical skeleton values, identical
+//! traffic accounting (bytes, messages, retries, redispatches), and — via
+//! [`ClusterConfig::with_sim_check`], which runs both cores on every
+//! dispatch and panics on the first bitwise timeline divergence — identical
+//! makespans, across topologies, pipeline modes, and seeded fault plans
+//! including crashes. Second, *scale*: a 1024-rank fold_reduce must complete
+//! in CI-friendly time with the dual-core check asserted throughout, the
+//! property the eager per-rank walk could not deliver.
+
+use std::time::Duration;
+
+use triolet::prelude::*;
+
+/// The fault schedules the cross-core gate sweeps: clean, lossy (drops +
+/// duplicates + corruption), and lossy with a crashed rank forcing
+/// redispatch. Short timeouts keep modeled makespans small without
+/// changing any routing decision.
+fn plans() -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::none(),
+        FaultPlan::seeded(77)
+            .with_drop(0.2)
+            .with_duplication(0.05)
+            .with_corruption(0.05)
+            .with_timeout(Duration::from_millis(1)),
+        FaultPlan::seeded(99).with_drop(0.15).with_crash(1).with_timeout(Duration::from_millis(1)),
+    ]
+}
+
+fn sum_ints(rt: &Triolet, xs: &[i64]) -> triolet::Run<i64> {
+    rt.fold_reduce(from_vec(xs.to_vec()).par(), &(), || 0i64, |(), a, x| a + x, |a, b| a + b)
+}
+
+#[test]
+fn cores_agree_on_values_and_accounting() {
+    let xs: Vec<i64> = (0..4096).map(|i| (i * 37) % 1001 - 500).collect();
+    let expect: i64 = xs.iter().sum();
+    for topo in [Topology::Linear, Topology::Tree] {
+        for pipe in [PipelineMode::Barrier, PipelineMode::Streamed] {
+            for (pi, plan) in plans().into_iter().enumerate() {
+                let run = |core: SimCore| {
+                    let rt = Triolet::new(
+                        ClusterConfig::virtual_cluster(6, 2)
+                            .with_topology(topo)
+                            .with_pipeline(pipe)
+                            .with_faults(plan)
+                            .with_sim_core(core),
+                    );
+                    sum_ints(&rt, &xs)
+                };
+                let eager = run(SimCore::Eager);
+                let event = run(SimCore::Event);
+                let tag = format!("{topo:?}/{pipe:?}/plan{pi}");
+                assert_eq!(eager.value, expect, "{tag}: eager value");
+                assert_eq!(event.value, expect, "{tag}: event value");
+                // Accounting is a pure function of the plan and the byte
+                // counts — it must match across cores *and* across runs.
+                assert_eq!(eager.stats.messages, event.stats.messages, "{tag}: messages");
+                assert_eq!(eager.stats.retries, event.stats.retries, "{tag}: retries");
+                assert_eq!(
+                    eager.stats.redispatches, event.stats.redispatches,
+                    "{tag}: redispatches"
+                );
+                assert_eq!(eager.stats.bytes_out, event.stats.bytes_out, "{tag}: bytes_out");
+                assert_eq!(eager.stats.bytes_back, event.stats.bytes_back, "{tag}: bytes_back");
+                // comm_s never includes wall-measured pieces, so it is
+                // bit-comparable even between separate runs.
+                assert_eq!(
+                    eager.stats.comm_s.to_bits(),
+                    event.stats.comm_s.to_bits(),
+                    "{tag}: comm_s diverged ({} vs {})",
+                    eager.stats.comm_s,
+                    event.stats.comm_s
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn float_results_are_bit_identical_across_cores() {
+    let xs: Vec<f64> = (0..3000).map(|i| (i as f64) * 0.125 + 0.3).collect();
+    let run = |core: SimCore| {
+        let rt = Triolet::new(
+            ClusterConfig::virtual_cluster(5, 2).with_faults(plans()[2]).with_sim_core(core),
+        );
+        rt.fold_reduce(from_vec(xs.clone()).par(), &(), || 0.0f64, |(), a, x| a + x, |a, b| a + b)
+    };
+    let eager = run(SimCore::Eager);
+    let event = run(SimCore::Event);
+    assert_eq!(
+        eager.value.to_bits(),
+        event.value.to_bits(),
+        "float fold diverged across cores: {} vs {}",
+        eager.value,
+        event.value
+    );
+}
+
+#[test]
+fn sim_check_passes_across_modes_and_faults() {
+    // Every dispatch here runs *both* cores and panics unless every span
+    // bound, send time, and arrival agrees to the bit — the in-dispatch
+    // form of the makespan-identity gate (cross-run makespans are not
+    // comparable because node seconds are wall-measured per run).
+    let xs: Vec<i64> = (0..2048).map(|i| (i * 13) % 257 - 128).collect();
+    let expect: i64 = xs.iter().sum();
+    for topo in [Topology::Linear, Topology::Tree] {
+        for pipe in [PipelineMode::Barrier, PipelineMode::Streamed] {
+            for plan in plans() {
+                let rt = Triolet::new(
+                    ClusterConfig::virtual_cluster(7, 2)
+                        .with_topology(topo)
+                        .with_pipeline(pipe)
+                        .with_faults(plan)
+                        .with_sim_check(true),
+                );
+                assert_eq!(sum_ints(&rt, &xs).value, expect, "{topo:?}/{pipe:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn event_core_completes_a_1024_rank_fold_reduce() {
+    let nodes = 1024usize;
+    let xs: Vec<i64> = (0..8192).map(|i| (i * 31) % 2003 - 1001).collect();
+    let expect: i64 = xs.iter().sum();
+    let rt = Triolet::new(ClusterConfig::virtual_cluster(nodes, 2).with_sim_check(true));
+    let run = sum_ints(&rt, &xs);
+    assert_eq!(run.value, expect);
+    let stats = rt.cluster().stats();
+    assert!(stats.sim_events() > 0, "the event core must have processed heap events");
+    assert!(
+        stats.sim_peak_heap() > 0 && stats.sim_peak_heap() < stats.sim_events(),
+        "resident heap state ({}) must stay well under total events ({})",
+        stats.sim_peak_heap(),
+        stats.sim_events()
+    );
+}
+
+#[test]
+fn eager_core_is_still_selectable_and_heapless() {
+    let xs: Vec<i64> = (0..512).collect();
+    let rt = Triolet::new(ClusterConfig::virtual_cluster(4, 2).with_sim_core(SimCore::Eager));
+    assert_eq!(sum_ints(&rt, &xs).value, xs.iter().sum::<i64>());
+    assert_eq!(rt.cluster().stats().sim_events(), 0, "the eager walk pops no heap events");
+}
+
+#[test]
+fn hierarchical_cost_model_keeps_cores_in_lockstep() {
+    // Heterogeneous link tiers change every edge duration; the cores must
+    // still agree bitwise (sim_check) and the result must be exact.
+    let xs: Vec<i64> = (0..4096).map(|i| (i * 7) % 499 - 249).collect();
+    let expect: i64 = xs.iter().sum();
+    let cost = CostModel::hierarchical(4, 5e-6, 4.0e9, 5e-5, 1.0e9);
+    let rt =
+        Triolet::new(ClusterConfig::virtual_cluster(16, 2).with_cost(cost).with_sim_check(true));
+    let run = sum_ints(&rt, &xs);
+    assert_eq!(run.value, expect);
+    assert!(run.stats.comm_s > 0.0);
+}
