@@ -1,0 +1,245 @@
+//! Ablation: multi-tenant fair-share scheduling in the skeleton job service.
+//!
+//! ```text
+//! cargo bench --bench ablation_tenancy -- [--smoke] [--out FILE]
+//! ```
+//!
+//! Queues 1407 mixed-size `sum` jobs from 3 tenants (weights 1:2:4, job
+//! quotas proportional to weight so every tenant stays backlogged) into one
+//! [`JobService`] over an 8×2 virtual cluster, then drains the queue under
+//! each scheduling policy — FIFO, fair-share, strict priority — and
+//! reports, per tenant: the achieved share of completed declared cost and
+//! of modeled busy time against the configured weight share, p50/p99 job
+//! latency on the service clock, and overall cluster utilization.
+//!
+//! In-bench asserts: under fair-share every tenant's cost share lands
+//! within 2% of its weight share and its busy share within 10% (the
+//! acceptance bound); the schedule is bit-deterministic (a second
+//! identical run completes jobs in the same order); under strict priority
+//! the top tenant's p99 latency beats the bottom tenant's p50. `--smoke`
+//! keeps the full 1407-job queue but shrinks job sizes for CI; `--out`
+//! writes the table as JSON (BENCH_tenancy.json is the committed capture).
+
+use std::io::Write;
+
+use triolet::prelude::*;
+use triolet::service::percentile;
+use triolet::JobId;
+
+const NODES: usize = 8;
+const THREADS: usize = 2;
+const TENANTS: usize = 3;
+const WEIGHTS: [f64; TENANTS] = [1.0, 2.0, 4.0];
+// Divisible by the 3-step size cycle so each tenant sees the same size mix
+// and total declared cost is exactly proportional to its quota.
+const QUOTAS: [usize; TENANTS] = [201, 402, 804];
+const QUEUE_CAP: usize = 2048;
+
+struct Point {
+    policy: &'static str,
+    tenant: u32,
+    weight: f64,
+    jobs: u64,
+    share_cost: f64,
+    share_busy: f64,
+    share_err: f64,
+    p50_s: f64,
+    p99_s: f64,
+    utilization: f64,
+}
+
+fn policy_for(name: &str) -> SchedPolicy {
+    match name {
+        "fifo" => SchedPolicy::Fifo,
+        "fair" => SchedPolicy::FairShare { weights: WEIGHTS.to_vec() },
+        "priority" => SchedPolicy::Priority { levels: vec![0, 1, 2] },
+        other => unreachable!("unknown policy {other}"),
+    }
+}
+
+/// Drain the full job mix under one policy; return per-tenant points plus
+/// the completion order (for the determinism gate).
+fn run_policy(name: &'static str, base_items: usize) -> (Vec<Point>, Vec<JobId>) {
+    let rt = Triolet::new(ClusterConfig::virtual_cluster(NODES, THREADS));
+    let svc = rt.into_service(ServiceConfig::new(policy_for(name)).with_queue_cap(QUEUE_CAP));
+
+    // Round-robin submission with a per-tenant 1x/2x/4x size cycle: every
+    // tenant gets the same size mix, so cost shares are exactly quota
+    // shares while all tenants are backlogged.
+    let mut submitted = [0usize; TENANTS];
+    let mut job_index = 0u64;
+    loop {
+        let mut any = false;
+        for t in 0..TENANTS {
+            if submitted[t] >= QUOTAS[t] {
+                continue;
+            }
+            any = true;
+            let items = base_items << (submitted[t] % 3);
+            submitted[t] += 1;
+            let seed = 1u64.wrapping_add(job_index.wrapping_mul(0x9e37_79b9));
+            job_index += 1;
+            let xs: Vec<f64> =
+                (0..items).map(|i| ((i as u64).wrapping_mul(seed) % 8191) as f64 * 0.25).collect();
+            svc.submit(Tenant(t as u32), items as f64, move |rt: &Triolet| {
+                rt.sum(from_vec(xs).par())
+            })
+            .expect("queue sized to hold the full mix");
+        }
+        if !any {
+            break;
+        }
+    }
+    svc.drain();
+
+    let stats = svc.service_stats();
+    let usage = svc.usage();
+    assert_eq!(stats.completed as usize, QUOTAS.iter().sum::<usize>());
+    assert_eq!(stats.rejected, 0);
+    let total_cost: f64 = usage.iter().map(|u| u.cost).sum();
+    let total_busy: f64 = usage.iter().map(|u| u.busy_s).sum();
+    let weight_sum: f64 = WEIGHTS.iter().sum();
+    let points = usage
+        .iter()
+        .map(|u| {
+            let configured = WEIGHTS[u.tenant.idx()] / weight_sum;
+            let share_cost = u.cost / total_cost;
+            Point {
+                policy: name,
+                tenant: u.tenant.0,
+                weight: WEIGHTS[u.tenant.idx()],
+                jobs: u.completed,
+                share_cost,
+                share_busy: u.busy_s / total_busy,
+                share_err: (share_cost - configured).abs() / configured,
+                p50_s: u.latency_percentile_s(0.50),
+                p99_s: u.latency_percentile_s(0.99),
+                utilization: stats.utilization(),
+            }
+        })
+        .collect();
+    (points, svc.completion_order())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
+
+    // Smoke keeps the full ≥1000-job queue — the fairness math needs the
+    // backlog — and shrinks only the per-job work.
+    let base_items = if smoke { 64 } else { 512 };
+    let total_jobs: usize = QUOTAS.iter().sum();
+
+    println!("# Ablation: multi-tenant fair-share job service");
+    println!(
+        "cluster {NODES}x{THREADS} | {TENANTS} tenants, weights {WEIGHTS:?}, quotas {QUOTAS:?} \
+         ({total_jobs} jobs) | sizes {base_items}x(1|2|4) | queue cap {QUEUE_CAP}"
+    );
+    println!(
+        "| policy | tenant | weight | jobs | share(cost) | share(busy) | share err | p50 (s) | \
+         p99 (s) | util |"
+    );
+    println!(
+        "|--------|-------:|-------:|-----:|------------:|------------:|----------:|--------:|\
+         --------:|-----:|"
+    );
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut fair_order = Vec::new();
+    for policy in ["fifo", "fair", "priority"] {
+        let (ps, order) = run_policy(policy, base_items);
+        for p in &ps {
+            println!(
+                "| {} | {} | {:.0} | {} | {:.4} | {:.4} | {:.4} | {:.6} | {:.6} | {:.3} |",
+                p.policy,
+                p.tenant,
+                p.weight,
+                p.jobs,
+                p.share_cost,
+                p.share_busy,
+                p.share_err,
+                p.p50_s,
+                p.p99_s,
+                p.utilization
+            );
+        }
+        if policy == "fair" {
+            fair_order = order;
+        }
+        points.extend(ps);
+    }
+
+    // Gate 1: fair-share holds every tenant's achieved share to its weight.
+    for p in points.iter().filter(|p| p.policy == "fair") {
+        assert!(
+            p.share_err <= 0.02,
+            "fair tenant {} cost share {:.4} drifts {:.4} from its weight share",
+            p.tenant,
+            p.share_cost,
+            p.share_err
+        );
+        let configured = p.weight / WEIGHTS.iter().sum::<f64>();
+        let busy_err = (p.share_busy - configured).abs() / configured;
+        assert!(
+            busy_err <= 0.10,
+            "fair tenant {} busy share {:.4} off configured {:.4} by {:.4}",
+            p.tenant,
+            p.share_busy,
+            configured,
+            busy_err
+        );
+    }
+    println!("fair-share gate: all cost shares within 2%, busy shares within 10% of weights");
+
+    // Gate 2: the schedule is deterministic — an identical service run
+    // completes jobs in the identical order.
+    let (_, order_again) = run_policy("fair", base_items);
+    assert_eq!(fair_order, order_again, "fair-share schedule must be bit-deterministic");
+    println!("determinism gate: identical completion order across {total_jobs}-job re-run");
+
+    // Gate 3: strict priority actually cuts the queue — the top tenant's
+    // worst latency beats the bottom tenant's median.
+    let pri = |tenant: u32| {
+        points.iter().find(|p| p.policy == "priority" && p.tenant == tenant).expect("point")
+    };
+    assert!(
+        pri(2).p99_s < pri(0).p50_s,
+        "priority tenant 2 p99 {:.6} must beat tenant 0 p50 {:.6}",
+        pri(2).p99_s,
+        pri(0).p50_s
+    );
+    println!("priority gate: top tenant p99 beats bottom tenant p50");
+
+    let all_lat_check: Vec<f64> = points.iter().map(|p| p.p99_s).collect();
+    assert!(percentile(&all_lat_check, 1.0) > 0.0, "latencies must be on the service clock");
+
+    if let Some(path) = out_path {
+        let mut json = String::from("{\n  \"bench\": \"ablation_tenancy\",\n");
+        json.push_str(&format!(
+            "  \"nodes\": {NODES},\n  \"queue_cap\": {QUEUE_CAP},\n  \"points\": [\n"
+        ));
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"policy\": \"{}\", \"tenant\": {}, \"weight\": {:.1}, \"jobs\": {}, \
+                 \"share_cost\": {:.6}, \"share_busy\": {:.6}, \"share_err\": {:.6}, \
+                 \"p50_s\": {:.9}, \"p99_s\": {:.9}, \"utilization\": {:.6}}}{}\n",
+                p.policy,
+                p.tenant,
+                p.weight,
+                p.jobs,
+                p.share_cost,
+                p.share_busy,
+                p.share_err,
+                p.p50_s,
+                p.p99_s,
+                p.utilization,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let mut f = std::fs::File::create(&path).expect("create --out file");
+        f.write_all(json.as_bytes()).expect("write --out file");
+        println!("wrote {path}");
+    }
+}

@@ -290,6 +290,29 @@ impl TrafficStats {
         self.sim_peak_heap.load(Ordering::Relaxed)
     }
 
+    /// A point-in-time copy of every counter. The job service meters each
+    /// tenant by differencing snapshots taken around a job's dispatches
+    /// ([`TrafficSnapshot::since`]), so per-tenant accounting needs no hook
+    /// inside the dispatch path itself.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            messages: self.messages(),
+            bytes: self.bytes(),
+            dropped: self.dropped(),
+            duplicated: self.duplicated(),
+            corrupted: self.corrupted(),
+            retries: self.retries(),
+            redispatches: self.redispatches(),
+            env_packs: self.env_packs(),
+            seg_scatters: self.seg_scatters(),
+            resident_hits: self.resident_hits(),
+            resident_misses: self.resident_misses(),
+            unpack_copied: self.unpack_copied(),
+            unpack_aliased: self.unpack_aliased(),
+            sim_events: self.sim_events(),
+        }
+    }
+
     /// Zero the counters (between experiments).
     pub fn reset(&self) {
         self.msgs.store(0, Ordering::Relaxed);
@@ -307,6 +330,73 @@ impl TrafficStats {
         self.unpack_aliased.store(0, Ordering::Relaxed);
         self.sim_events.store(0, Ordering::Relaxed);
         self.sim_peak_heap.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-value copy of the cluster's cumulative traffic counters
+/// ([`TrafficStats::snapshot`]). Two snapshots bracket an interval of
+/// cluster activity; [`since`](Self::since) yields the traffic of exactly
+/// that interval. `sim_peak_heap` is a high-water mark, not a counter, so
+/// it is deliberately absent — a difference of maxima means nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    pub messages: u64,
+    pub bytes: u64,
+    pub dropped: u64,
+    pub duplicated: u64,
+    pub corrupted: u64,
+    pub retries: u64,
+    pub redispatches: u64,
+    pub env_packs: u64,
+    pub seg_scatters: u64,
+    pub resident_hits: u64,
+    pub resident_misses: u64,
+    pub unpack_copied: u64,
+    pub unpack_aliased: u64,
+    pub sim_events: u64,
+}
+
+impl TrafficSnapshot {
+    /// Counter-by-counter difference `self - earlier`: the traffic of the
+    /// interval between the two snapshots. Saturating, so a `reset()`
+    /// between the snapshots degrades to zeros instead of wrapping.
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            messages: self.messages.saturating_sub(earlier.messages),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            duplicated: self.duplicated.saturating_sub(earlier.duplicated),
+            corrupted: self.corrupted.saturating_sub(earlier.corrupted),
+            retries: self.retries.saturating_sub(earlier.retries),
+            redispatches: self.redispatches.saturating_sub(earlier.redispatches),
+            env_packs: self.env_packs.saturating_sub(earlier.env_packs),
+            seg_scatters: self.seg_scatters.saturating_sub(earlier.seg_scatters),
+            resident_hits: self.resident_hits.saturating_sub(earlier.resident_hits),
+            resident_misses: self.resident_misses.saturating_sub(earlier.resident_misses),
+            unpack_copied: self.unpack_copied.saturating_sub(earlier.unpack_copied),
+            unpack_aliased: self.unpack_aliased.saturating_sub(earlier.unpack_aliased),
+            sim_events: self.sim_events.saturating_sub(earlier.sim_events),
+        }
+    }
+
+    /// Elementwise sum (aggregating one tenant's per-job deltas).
+    pub fn plus(&self, other: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            messages: self.messages + other.messages,
+            bytes: self.bytes + other.bytes,
+            dropped: self.dropped + other.dropped,
+            duplicated: self.duplicated + other.duplicated,
+            corrupted: self.corrupted + other.corrupted,
+            retries: self.retries + other.retries,
+            redispatches: self.redispatches + other.redispatches,
+            env_packs: self.env_packs + other.env_packs,
+            seg_scatters: self.seg_scatters + other.seg_scatters,
+            resident_hits: self.resident_hits + other.resident_hits,
+            resident_misses: self.resident_misses + other.resident_misses,
+            unpack_copied: self.unpack_copied + other.unpack_copied,
+            unpack_aliased: self.unpack_aliased + other.unpack_aliased,
+            sim_events: self.sim_events + other.sim_events,
+        }
     }
 }
 
@@ -435,6 +525,28 @@ mod tests {
         assert_eq!(s.corrupted(), 0);
         assert_eq!(s.retries(), 0);
         assert_eq!(s.redispatches(), 0);
+    }
+
+    #[test]
+    fn snapshots_difference_and_sum() {
+        let s = TrafficStats::new();
+        s.record(100);
+        let before = s.snapshot();
+        s.record(50);
+        s.record_retry();
+        s.record_env_pack();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.messages, 1);
+        assert_eq!(delta.bytes, 50);
+        assert_eq!(delta.retries, 1);
+        assert_eq!(delta.env_packs, 1);
+        assert_eq!(delta.redispatches, 0);
+        let doubled = delta.plus(&delta);
+        assert_eq!(doubled.bytes, 100);
+        assert_eq!(doubled.messages, 2);
+        // A reset between snapshots saturates to zero instead of wrapping.
+        s.reset();
+        assert_eq!(s.snapshot().since(&before).bytes, 0);
     }
 
     #[test]

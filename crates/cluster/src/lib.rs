@@ -42,7 +42,7 @@ pub use cluster::{
     Topology,
 };
 pub use comm::{Comm, CommError, CommHandle, REPLY_TAG_BIT};
-pub use cost::{CostModel, DistTiming, TrafficStats};
+pub use cost::{CostModel, DistTiming, TrafficSnapshot, TrafficStats};
 pub use fault::{FaultDecision, FaultPlan};
 pub use node::{ExecMode, NodeCtx, ResidentStore};
 pub use sim::SimCore;

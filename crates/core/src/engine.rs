@@ -108,6 +108,14 @@ impl Triolet {
         Self::new(ClusterConfig::virtual_cluster(1, 1))
     }
 
+    /// Wrap this runtime in a multi-tenant [`JobService`]: a bounded
+    /// submission queue, policy-driven dispatch, and per-tenant accounting
+    /// over this cluster. Consumes the runtime — all subsequent skeleton
+    /// calls go through submitted jobs.
+    pub fn into_service(self, config: crate::service::ServiceConfig) -> crate::service::JobService {
+        crate::service::JobService::new(self, config)
+    }
+
     /// The underlying cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster

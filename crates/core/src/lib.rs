@@ -50,6 +50,7 @@ pub mod dist;
 pub mod engine;
 pub mod report;
 pub mod run;
+pub mod service;
 
 pub use dist::{
     AsEnv, DistArray2, DistInput, DistIter, DistVec, EnumView, HaloView, IntoDistInput, PackedEnv,
@@ -58,11 +59,15 @@ pub use dist::{
 pub use engine::Triolet;
 pub use report::RunStats;
 pub use run::Run;
+pub use service::{
+    AdmissionError, JobHandle, JobId, JobOutput, JobReport, JobService, SchedPolicy, ServiceConfig,
+    ServiceStats, Tenant, TenantUsage,
+};
 
 // Re-export the substrate crates under the facade.
 pub use triolet_cluster::{
     Cluster, ClusterConfig, CostModel, DispatchError, DistTiming, ExecMode, FaultPlan, NodeCtx,
-    PipelineMode, SimCore, Topology, TraceData, TraceHandle, Track, TrafficStats,
+    PipelineMode, SimCore, Topology, TraceData, TraceHandle, Track, TrafficSnapshot, TrafficStats,
 };
 pub use triolet_domain::{Dim2, Dim2Part, Dim3, Dim3Part, Domain, Part, Seq, SeqPart};
 pub use triolet_iter::{
@@ -79,6 +84,7 @@ pub mod prelude {
     pub use crate::engine::Triolet;
     pub use crate::report::RunStats;
     pub use crate::run::Run;
+    pub use crate::service::{AdmissionError, JobService, SchedPolicy, ServiceConfig, Tenant};
     pub use triolet_cluster::{
         ClusterConfig, CostModel, ExecMode, FaultPlan, PipelineMode, SimCore, Topology, TraceData,
     };

@@ -5,11 +5,15 @@
 //! ```text
 //! trace_check out.trace.json skeleton:build_vec dispatch chunk
 //! trace_check out.trace.json --events retry redispatch
+//! trace_check out.trace.json service:job --tagged service:job tenant
 //! ```
 //!
 //! Names before `--events` must appear as spans (`ph: "X"`); names after it
-//! must appear as instants (`ph: "i"`). Exits non-zero with a diagnostic on
-//! the first failure.
+//! must appear as instants (`ph: "i"`). `--tagged` takes NAME KEY pairs:
+//! at least one span named NAME must exist and *every* such span must
+//! carry KEY in its `args` object — how CI proves per-tenant attribution
+//! survived the export. Exits non-zero with a diagnostic on the first
+//! failure.
 
 use std::process::ExitCode;
 
@@ -23,7 +27,11 @@ fn fail(msg: String) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((path, rest)) = args.split_first() else {
-        return fail("usage: trace_check FILE [SPAN_NAME...] [--events EVENT_NAME...]".into());
+        return fail(
+            "usage: trace_check FILE [SPAN_NAME...] [--events EVENT_NAME...] \
+             [--tagged SPAN_NAME ARG_KEY ...]"
+                .into(),
+        );
     };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -39,29 +47,74 @@ fn main() -> ExitCode {
     if events.is_empty() {
         return fail(format!("{path}: traceEvents is empty"));
     }
-    let names_with_ph = |ph: &str| -> Vec<&str> {
-        events
-            .iter()
-            .filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph))
+    let with_ph = |ph: &str| -> Vec<&Value> {
+        events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph)).collect()
+    };
+    let names_of = |pool: &[&Value]| -> Vec<String> {
+        pool.iter()
             .filter_map(|e| e.get("name").and_then(Value::as_str))
+            .map(str::to_string)
             .collect()
     };
-    let spans = names_with_ph("X");
-    let instants = names_with_ph("i");
+    let span_records = with_ph("X");
+    let spans = names_of(&span_records);
+    let instants = names_of(&with_ph("i"));
     if spans.is_empty() {
         return fail(format!("{path}: no complete (ph=X) span events"));
     }
 
-    let mut want_events = false;
-    for name in rest {
-        if name == "--events" {
-            want_events = true;
-            continue;
+    #[derive(PartialEq)]
+    enum Mode {
+        Spans,
+        Events,
+        Tagged,
+    }
+    let mut mode = Mode::Spans;
+    let mut rest = rest.iter();
+    while let Some(name) = rest.next() {
+        match name.as_str() {
+            "--events" => {
+                mode = Mode::Events;
+                continue;
+            }
+            "--tagged" => {
+                mode = Mode::Tagged;
+                continue;
+            }
+            _ => {}
         }
-        let (pool, kind) =
-            if want_events { (&instants, "instant event") } else { (&spans, "span") };
-        if !pool.contains(&name.as_str()) {
-            return fail(format!("{path}: required {kind} {name:?} not found"));
+        match mode {
+            Mode::Spans | Mode::Events => {
+                let (pool, kind) = if mode == Mode::Events {
+                    (&instants, "instant event")
+                } else {
+                    (&spans, "span")
+                };
+                if !pool.iter().any(|n| n == name) {
+                    return fail(format!("{path}: required {kind} {name:?} not found"));
+                }
+            }
+            Mode::Tagged => {
+                let Some(key) = rest.next() else {
+                    return fail(format!("--tagged {name} is missing its ARG_KEY"));
+                };
+                let matching: Vec<&&Value> = span_records
+                    .iter()
+                    .filter(|e| e.get("name").and_then(Value::as_str) == Some(name))
+                    .collect();
+                if matching.is_empty() {
+                    return fail(format!(
+                        "{path}: no span named {name:?} to check for tag {key:?}"
+                    ));
+                }
+                for span in matching {
+                    if span.get("args").and_then(|a| a.get(key)).is_none() {
+                        return fail(format!(
+                            "{path}: span {name:?} found without required arg {key:?}"
+                        ));
+                    }
+                }
+            }
         }
     }
     println!(

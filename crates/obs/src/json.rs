@@ -43,6 +43,15 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The field list of an object value (None for non-objects). Fields
+    /// keep document order.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 /// Parse a complete JSON document; trailing whitespace allowed, anything

@@ -321,6 +321,25 @@ impl TraceData {
         self.events.append(&mut other.events);
     }
 
+    /// Stamp every span and event with one extra argument — the job
+    /// service's per-tenant attribution: a whole job timeline gets
+    /// `("tenant", id)` / `("job", seq)` tags before it is absorbed into
+    /// the service trace, so one merged timeline can still be filtered
+    /// per tenant in chrome://tracing.
+    pub fn tag(&mut self, key: &'static str, value: ArgValue) {
+        for s in &mut self.spans {
+            s.args.push((key, value.clone()));
+        }
+        for e in &mut self.events {
+            e.args.push((key, value.clone()));
+        }
+    }
+
+    /// How many spans carry this name.
+    pub fn count_spans(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
     /// Distinct span names, in first-appearance order.
     pub fn span_names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = Vec::new();
@@ -444,7 +463,23 @@ mod tests {
     fn span_names_and_event_counts() {
         let data = sample();
         assert_eq!(data.span_names(), vec!["skeleton:sum", "chunk"]);
+        assert_eq!(data.count_spans("chunk"), 1);
+        assert_eq!(data.count_spans("missing"), 0);
         assert_eq!(data.count_events("retry"), 1);
         assert_eq!(data.count_events("missing"), 0);
+    }
+
+    #[test]
+    fn tag_stamps_every_span_and_event() {
+        let mut data = sample();
+        data.tag("tenant", 7u64.into());
+        for s in &data.spans {
+            assert!(s.args.iter().any(|(k, v)| *k == "tenant" && *v == ArgValue::U64(7)));
+        }
+        for e in &data.events {
+            assert!(e.args.iter().any(|(k, v)| *k == "tenant" && *v == ArgValue::U64(7)));
+        }
+        // Pre-existing args survive the tagging pass.
+        assert!(data.spans[0].args.iter().any(|(k, _)| *k == "items"));
     }
 }
